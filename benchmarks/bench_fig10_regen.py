@@ -1,0 +1,29 @@
+"""Figure 10: ablation of the shared-mask regeneration interval I."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig10
+from repro.experiments.fig10 import format_fig10
+
+
+def test_fig10_mask_regeneration(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig10,
+        scenario_name="femnist-shufflenet",
+        intervals=(10, 20, None),
+        rounds=60,
+        seed=0,
+    )
+    print("\n" + format_fig10(result))
+
+    finals = result["final"]
+    # regeneration must not hurt: I=10 performs at least as well as I=∞
+    assert finals["GlueFL (I = 10)"] >= finals["GlueFL (I = ∞)"] - 0.03
+    # all GlueFL variants converge to a sane accuracy
+    for label, acc in finals.items():
+        assert acc > 0.3, label
+    # every variant still beats FedAvg on downstream volume
+    down = {k: r.cumulative_down_bytes()[-1] for k, r in result["results"].items()}
+    for label in finals:
+        if label != "FedAvg":
+            assert down[label] < down["FedAvg"], label

@@ -1,0 +1,23 @@
+"""Figure 11: error-compensation ablation (None / EC / REC)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig11
+from repro.experiments.fig11 import format_fig11
+
+
+def test_fig11_error_compensation(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig11,
+        scenario_name="femnist-shufflenet",
+        rounds=60,
+        seed=0,
+    )
+    print("\n" + format_fig11(result))
+
+    finals = result["final"]
+    # the paper's claim: re-scaled compensation (REC) is required —
+    # raw EC accumulates weight-mismatched residuals and harms convergence
+    assert finals["GlueFL (REC)"] >= finals["GlueFL (EC)"] - 0.02
+    # REC must be competitive with no-compensation or better
+    assert finals["GlueFL (REC)"] >= finals["GlueFL (None)"] - 0.05

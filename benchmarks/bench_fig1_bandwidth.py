@@ -1,0 +1,17 @@
+"""Figure 1: client bandwidth distribution (scatter/CDF quantiles)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig1
+from repro.experiments.fig1 import format_fig1
+
+
+def test_fig1_bandwidth_distribution(benchmark):
+    result = run_once(benchmark, run_fig1, num_devices=20_000, seed=0)
+    print("\n" + format_fig1(result))
+
+    # paper: ~20% of devices at <= 10 Mbps download
+    assert 0.15 < result["frac_download_leq_10mbps"] < 0.25
+    # uploads are slower than downloads across the distribution
+    q = result["quantiles"]
+    assert q[0.50]["up_mbps"] < q[0.50]["down_mbps"]
+    assert q[0.90]["up_mbps"] < q[0.90]["down_mbps"]

@@ -1,0 +1,39 @@
+"""Figure 2: STC downstream/upstream per round + download size vs gap."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig2
+from repro.experiments.fig2 import format_fig2
+
+
+def test_fig2_stc_staleness(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig2,
+        scenario_name="femnist-shufflenet",
+        ratios=(0.1, 0.2),
+        rounds=60,
+        seed=0,
+    )
+    print("\n" + format_fig2(result))
+
+    for q, data in result["ratios"].items():
+        down = np.mean(data["down_mb_per_round"][5:])
+        up = np.mean(data["up_mb_per_round"][5:])
+        # Fig. 2a: downstream far exceeds upstream despite the q-mask
+        assert down > 2 * up
+        # §2.3: a typical re-sampled client downloads most of the model
+        assert data["mean_download_fraction"] > 2 * q
+
+    # Fig. 2b: download fraction grows with the number of skipped rounds
+    gaps = result["ratios"][0.2]["gap_to_fraction"]
+    keys = sorted(gaps)
+    early = np.mean([gaps[k] for k in keys[: max(1, len(keys) // 3)]])
+    late = np.mean([gaps[k] for k in keys[-max(1, len(keys) // 3) :]])
+    assert late > early
+
+    # smaller q -> less upstream (the expected benefit that does survive)
+    up10 = np.mean(result["ratios"][0.1]["up_mb_per_round"][5:])
+    up20 = np.mean(result["ratios"][0.2]["up_mb_per_round"][5:])
+    assert up10 < up20

@@ -1,0 +1,29 @@
+"""Figure 5: unbiased inverse-propensity weights vs equal weights."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig5
+from repro.experiments.fig5 import format_fig5
+
+
+def test_fig5_aggregation_weights(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig5,
+        scenario_names=("femnist-shufflenet", "speech-resnet"),
+        rounds=60,
+        seed=0,
+    )
+    print("\n" + format_fig5(result))
+
+    for name, cell in result.items():
+        finals = cell["final"]
+        # unbiased weighting converges at least as well as the biased
+        # equal-weight variant (paper: similar or better)
+        assert finals["GlueFL"] >= finals["GlueFL (Equal)"] - 0.05, name
+        # and GlueFL is competitive with FedAvg in accuracy
+        assert finals["GlueFL"] >= finals["FedAvg"] - 0.08, name
+        # while using less downstream bandwidth for the whole run
+        down = {
+            k: r.cumulative_down_bytes()[-1] for k, r in cell["results"].items()
+        }
+        assert down["GlueFL"] < down["FedAvg"], name

@@ -1,0 +1,25 @@
+"""Figure 6: sensitivity to sticky group size S."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig6
+from repro.experiments.fig6 import format_fig6
+
+
+def test_fig6_sticky_group_size(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig6,
+        scenario_name="femnist-shufflenet",
+        s_factors=(1, 2, 4, 8),
+        rounds=60,
+        seed=0,
+    )
+    print("\n" + format_fig6(result))
+
+    dv = result["dv_total_gb"]
+    k = 10  # femnist-shufflenet preset
+    # every GlueFL setting beats FedAvg on downstream volume
+    for factor in (1, 2, 4, 8):
+        assert dv[f"GlueFL (S = {factor * k})"] < dv["FedAvg"]
+    # smaller sticky groups re-sample members more often -> less downstream
+    assert dv[f"GlueFL (S = {k})"] <= dv[f"GlueFL (S = {8 * k})"]

@@ -1,0 +1,25 @@
+"""Figure 7: sensitivity to the sticky participant count C."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig7
+from repro.experiments.fig7 import format_fig7
+
+
+def test_fig7_sticky_count(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig7,
+        scenario_name="femnist-shufflenet",
+        c_fractions=(0.2, 0.6, 0.8),
+        rounds=60,
+        seed=0,
+    )
+    print("\n" + format_fig7(result))
+
+    per_round = result["mean_down_mb_per_round"]
+    k = 10
+    small_c = per_round[f"GlueFL (C = {int(0.2 * k)})"]
+    large_c = per_round[f"GlueFL (C = {int(0.8 * k)})"]
+    # paper: small C brings many fresh clients -> much more downstream
+    # (they report +76% for C=6 vs C=24)
+    assert small_c > 1.2 * large_c

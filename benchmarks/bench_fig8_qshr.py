@@ -1,0 +1,25 @@
+"""Figure 8: sensitivity to the shared mask ratio q_shr."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig8
+from repro.experiments.fig8 import format_fig8
+
+
+def test_fig8_shared_mask_ratio(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig8,
+        scenario_name="femnist-shufflenet",
+        shr_fractions=(0.2, 0.4, 0.8),
+        rounds=60,
+        seed=0,
+    )
+    print("\n" + format_fig8(result))
+
+    dv = result["dv_total_gb"]
+    q = 0.20  # scenario preset
+    low = dv[f"GlueFL (q_shr = {0.2 * q:.0%})"]
+    high = dv[f"GlueFL (q_shr = {0.8 * q:.0%})"]
+    # paper: a higher shared ratio uses the least downstream bandwidth
+    assert high < low
+    assert high < dv["FedAvg"]

@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the library's hot operations.
+
+Not a paper artifact — these guard the performance of the primitives the
+simulation spends its time in, at paper-scale dimensions (d = 5M):
+top-k selection, staleness bookkeeping, sparse accumulation, and a
+conv forward/backward step.  Unlike the experiment benches these use
+pytest-benchmark's normal repeated timing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression.topk import top_k_indices
+from repro.fl.staleness import StalenessTracker
+from repro.nn import Conv2d, CrossEntropyLoss, Sequential
+
+D = 5_000_000
+
+
+@pytest.fixture(scope="module")
+def big_vector():
+    return np.random.default_rng(0).normal(size=D)
+
+
+def test_topk_5m(benchmark, big_vector):
+    idx = benchmark(top_k_indices, big_vector, D // 10)
+    assert len(idx) == D // 10
+
+
+def test_staleness_bookkeeping_5m(benchmark):
+    tracker = StalenessTracker(d=D, num_clients=1000)
+    tracker.mark_synced(np.arange(1000))
+    changed = np.random.default_rng(1).choice(D, size=D // 10, replace=False)
+
+    def round_bookkeeping():
+        tracker.record_update(changed)
+        return tracker.download_bytes_many(np.arange(0, 1000, 25))
+
+    nbytes = benchmark(round_bookkeeping)
+    assert (nbytes >= 0).all()
+
+
+def test_sparse_accumulate_5m(benchmark, big_vector):
+    idx = np.random.default_rng(2).choice(D, size=D // 10, replace=False)
+    vals = big_vector[idx]
+
+    def accumulate():
+        acc = np.zeros(D)
+        for _ in range(10):  # K=10 clients
+            np.add.at(acc, idx, vals)
+        return acc
+
+    acc = benchmark(accumulate)
+    assert np.isfinite(acc).all()
+
+
+def test_conv_training_step(benchmark):
+    rng = np.random.default_rng(3)
+    model = Sequential(
+        Conv2d(8, 16, 3, padding=1, rng=rng),
+        Conv2d(16, 16, 3, padding=1, groups=16, rng=rng),  # depthwise
+    )
+    x = rng.normal(size=(16, 8, 14, 14))
+
+    def step():
+        out = model(x)
+        model.backward(np.ones_like(out) / out.size)
+        return out
+
+    out = benchmark(step)
+    assert out.shape == (16, 16, 14, 14)

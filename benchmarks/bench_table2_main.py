@@ -1,0 +1,53 @@
+"""Table 2: the headline DV/TV/DT/TT comparison on all three datasets.
+
+Reproduction target (shapes, not absolute numbers):
+
+* GlueFL has the lowest downstream volume (DV) on every dataset;
+* masking baselines (STC) cut upstream but fail to cut downstream the way
+  GlueFL does;
+* GlueFL's total training time (TT) beats FedAvg.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_table2
+from repro.experiments.table2 import format_table2
+
+SCENARIOS = (
+    "femnist-shufflenet",
+    "femnist-mobilenet",
+    "openimage-shufflenet",
+    "openimage-mobilenet",
+    "speech-resnet",
+)
+
+
+def test_table2_main_comparison(benchmark):
+    table = run_once(
+        benchmark,
+        run_table2,
+        scenario_names=SCENARIOS,
+        rounds=80,
+        seed=0,
+    )
+    print("\n" + format_table2(table))
+
+    gluefl_dv_wins = 0
+    gluefl_tt_wins = 0
+    for name, cell in table.items():
+        rows = cell["rows"]
+        assert all(r.reached_target for r in rows.values()), name
+        baseline_dv = min(
+            rows[s].dv_gb for s in ("fedavg", "stc", "apf")
+        )
+        if rows["gluefl"].dv_gb < baseline_dv:
+            gluefl_dv_wins += 1
+        if rows["gluefl"].tt_hours < rows["fedavg"].tt_hours:
+            gluefl_tt_wins += 1
+        # upstream of STC and GlueFL stays comparable (paper §5.2):
+        up_stc = rows["stc"].tv_gb - rows["stc"].dv_gb
+        up_glue = rows["gluefl"].tv_gb - rows["gluefl"].dv_gb
+        assert up_glue < 3 * up_stc + 1e-9, name
+
+    # GlueFL wins downstream on most datasets and time vs FedAvg on most
+    assert gluefl_dv_wins >= len(SCENARIOS) - 1
+    assert gluefl_tt_wins >= len(SCENARIOS) - 1

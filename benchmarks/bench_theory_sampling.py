@@ -1,0 +1,23 @@
+"""Appendix A / §3.1: sticky-sampling probability case study."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_case_study
+from repro.experiments.theory_tables import format_case_study
+
+
+def test_theory_sampling_case_study(benchmark):
+    result = run_once(benchmark, run_case_study)
+    print("\n" + format_case_study(result))
+
+    # the paper's §3.1 numbers: 20.0%, 15.0%, 11.2%, 8.5%, 6.4%, 4.8%
+    np.testing.assert_allclose(
+        result["sticky_probs"],
+        [0.200, 0.150, 0.112, 0.085, 0.064, 0.048],
+        atol=0.002,
+    )
+    # uniform comparison point: ~1.1%
+    assert abs(result["uniform_probs"][0] - 0.0107) < 0.001
+    # both schemes re-sample every N/K rounds in expectation
+    assert abs(result["sticky_expected_gap"] - 2800 / 30) < 1e-6

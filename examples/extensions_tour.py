@@ -1,0 +1,130 @@
+"""Tour of the library's extensions beyond the paper's core.
+
+Run:
+    python examples/extensions_tour.py
+
+Four extensions, each motivated by the paper's related-work or footnotes:
+
+1. **Diurnal availability** — day/night client churn (FedScale-style)
+   interacting with sticky sampling;
+2. **Oort-like utility sampling** — guided participant selection (§6);
+3. **Quantization composed with GlueFL** — footnote 1;
+4. **Multi-seed summaries** — seed-averaged A/B comparison with dispersion.
+"""
+
+import numpy as np
+
+from repro.compression import QuantizedStrategy, STCStrategy
+from repro.core import make_gluefl
+from repro.datasets import femnist_like
+from repro.experiments import get_scenario, run_strategy_seeds
+from repro.fl import RunConfig, UniformSampler, run_training
+from repro.fl.extra_samplers import OortLikeSampler
+from repro.traces import DiurnalAvailabilityTrace
+
+K = 8
+ROUNDS = 40
+
+
+def dataset():
+    return femnist_like(
+        num_clients=120, num_classes=10, samples_per_client=36, noise=2.0, seed=4
+    )
+
+
+def demo_diurnal() -> None:
+    print("1) diurnal availability — GlueFL under day/night churn")
+    ds = dataset()
+    trace = DiurnalAvailabilityTrace(
+        ds.num_clients,
+        np.random.default_rng(0),
+        rounds_per_day=20,
+        window_hours=10.0,
+    )
+    frac = trace.online_fraction_over_day()
+    print(
+        f"   online fraction over a simulated day: "
+        f"min {frac.min():.2f} / mean {frac.mean():.2f} / max {frac.max():.2f}"
+    )
+    strategy, sampler = make_gluefl(K, q=0.2, q_shr=0.16)
+    cfg = RunConfig(
+        dataset=ds,
+        model_name="mlp",
+        model_kwargs={"hidden": (32,)},
+        strategy=strategy,
+        sampler=sampler,
+        rounds=ROUNDS,
+        local_steps=3,
+        availability_trace=trace,
+        seed=1,
+    )
+    result = run_training(cfg)
+    print(
+        f"   trained through the churn: accuracy {result.final_accuracy():.3f}, "
+        f"mean participants/round "
+        f"{result.series('num_participants').mean():.1f}\n"
+    )
+
+
+def demo_oort() -> None:
+    print("2) Oort-like sampler — utility-guided selection (biased, 1/K weights)")
+    ds = dataset()
+    sampler = OortLikeSampler(K, exploration=0.3)
+    cfg = RunConfig(
+        dataset=ds,
+        model_name="mlp",
+        model_kwargs={"hidden": (32,)},
+        strategy=STCStrategy(q=0.2),
+        sampler=sampler,
+        rounds=ROUNDS,
+        local_steps=3,
+        weight_mode="equal",
+        seed=2,
+    )
+    result = run_training(cfg)
+    print(f"   accuracy {result.final_accuracy():.3f} with guided selection\n")
+
+
+def demo_quantization() -> None:
+    print("3) quantization × GlueFL (footnote 1)")
+    ds = dataset()
+    for bits in (None, 8):
+        strategy, sampler = make_gluefl(K, q=0.2, q_shr=0.16)
+        if bits is not None:
+            strategy = QuantizedStrategy(strategy, bits=bits)
+        cfg = RunConfig(
+            dataset=ds,
+            model_name="mlp",
+            model_kwargs={"hidden": (32,)},
+            strategy=strategy,
+            sampler=sampler,
+            rounds=ROUNDS,
+            local_steps=3,
+            seed=3,
+        )
+        result = run_training(cfg)
+        label = "float32" if bits is None else f"{bits}-bit"
+        print(
+            f"   {label:>8}: up {result.cumulative_up_bytes()[-1] / 1e6:6.1f} MB, "
+            f"accuracy {result.final_accuracy():.3f}"
+        )
+    print()
+
+
+def demo_multiseed() -> None:
+    print("4) multi-seed summary — GlueFL vs FedAvg with dispersion")
+    scenario = get_scenario("femnist-tiny").with_(rounds=16, eval_every=4)
+    for name in ("fedavg", "gluefl"):
+        summary = run_strategy_seeds(scenario, name, seeds=(0, 1, 2))
+        print("   " + summary.as_row())
+
+
+def main() -> None:
+    demo_diurnal()
+    demo_oort()
+    demo_quantization()
+    demo_multiseed()
+
+
+if __name__ == "__main__":
+    main()

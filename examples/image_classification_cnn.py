@@ -1,0 +1,80 @@
+"""Image classification with a real convolutional model (ShuffleNetLite).
+
+Run:
+    python examples/image_classification_cnn.py
+
+The other examples use MLPs for speed; this one exercises the full conv
+stack the paper trains — grouped convolutions with channel shuffle and
+BatchNorm layers whose running statistics are aggregated per Appendix D —
+on the FEMNIST stand-in.  It also demonstrates the quantization extension
+(paper footnote 1) composing with GlueFL's masking.  Expect ~1–2 minutes
+on a laptop CPU.
+"""
+
+import numpy as np
+
+from repro.compression.quantize import quantized_values_bytes, uniform_quantize
+from repro.core import make_gluefl
+from repro.datasets import femnist_like
+from repro.fl import RunConfig, run_training
+from repro.network.encoding import values_bytes
+
+ROUNDS = 30
+K = 8
+
+
+def main() -> None:
+    dataset = femnist_like(
+        num_clients=80,
+        num_classes=10,
+        image_size=16,  # scaled-down images keep conv training fast
+        samples_per_client=30,
+        noise=1.5,
+        seed=2,
+    )
+    strategy, sampler = make_gluefl(K, q=0.20, q_shr=0.16)
+    config = RunConfig(
+        dataset=dataset,
+        model_name="shufflenet",
+        model_kwargs={"groups": 2, "stage_widths": (16, 32), "stage_repeats": (1, 1)},
+        strategy=strategy,
+        sampler=sampler,
+        rounds=ROUNDS,
+        local_steps=3,
+        batch_size=16,
+        lr=0.05,
+        eval_every=5,
+        seed=5,
+    )
+    result = run_training(config)
+
+    print("round  smoothed-accuracy  cumulative-down-MB")
+    cum = result.cumulative_down_bytes()
+    rounds = result.series("round_idx")
+    for round_idx, acc in result.smoothed_accuracy():
+        pos = int(np.searchsorted(rounds, round_idx, side="right")) - 1
+        print(f"{round_idx:>5d}  {acc:>17.3f}  {cum[pos] / 1e6:>18.2f}")
+
+    report = result.report()
+    print(
+        f"\nfinal accuracy {result.final_accuracy():.3f}; "
+        f"DV {report.dv_gb * 1e3:.1f} MB, TV {report.tv_gb * 1e3:.1f} MB "
+        f"(BatchNorm stats synchronized per Appendix D)"
+    )
+
+    # --- footnote-1 extension: quantize the value payloads ---------------------
+    d = int(result.meta["d"])
+    k_shr = int(0.16 * d)
+    values = np.random.default_rng(0).normal(size=k_shr)
+    deq, nbytes8 = uniform_quantize(values, bits=8)
+    print(
+        f"\nquantization extension: {k_shr} shared-mask values cost "
+        f"{values_bytes(k_shr) / 1e3:.1f} KB at float32 vs "
+        f"{nbytes8 / 1e3:.1f} KB at 8 bits "
+        f"(max abs error {np.abs(deq - values).max():.4f}); "
+        f"4 bits -> {quantized_values_bytes(k_shr, 4) / 1e3:.1f} KB"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Quickstart: train a federated model with GlueFL and compare to FedAvg.
+
+Run:
+    python examples/quickstart.py
+
+Builds a small synthetic non-IID federation (the FEMNIST stand-in), trains
+it twice — once with plain FedAvg, once with GlueFL (sticky sampling +
+mask shifting) — and prints accuracy plus the bandwidth/time ledger for
+both.  Takes ~15 seconds on a laptop CPU.
+"""
+
+from repro.compression import FedAvgStrategy
+from repro.core import make_gluefl
+from repro.datasets import femnist_like
+from repro.fl import RunConfig, UniformSampler, run_training
+
+ROUNDS = 60
+K = 10  # clients aggregated per round
+
+
+def main() -> None:
+    dataset = femnist_like(
+        num_clients=150,
+        num_classes=16,
+        samples_per_client=36,
+        noise=3.0,
+        seed=0,
+    )
+    print(
+        f"federation: {dataset.num_clients} clients, "
+        f"{dataset.total_samples()} samples, "
+        f"non-IID degree {dataset.noniid_degree():.2f}"
+    )
+
+    # --- baseline: FedAvg with uniform sampling -------------------------------
+    fedavg_config = RunConfig(
+        dataset=dataset,
+        model_name="mlp",
+        model_kwargs={"hidden": (48,)},
+        strategy=FedAvgStrategy(),
+        sampler=UniformSampler(K),
+        rounds=ROUNDS,
+        local_steps=3,
+        lr=0.01,
+        seed=7,
+    )
+    fedavg = run_training(fedavg_config)
+
+    # --- GlueFL: sticky sampling + mask shifting + REC -------------------------
+    strategy, sampler = make_gluefl(K, q=0.20, q_shr=0.16, regen_interval=10)
+    gluefl_config = RunConfig(
+        dataset=dataset,
+        model_name="mlp",
+        model_kwargs={"hidden": (48,)},
+        strategy=strategy,
+        sampler=sampler,
+        rounds=ROUNDS,
+        local_steps=3,
+        lr=0.01,
+        seed=7,
+    )
+    gluefl = run_training(gluefl_config)
+
+    print(f"\n{'':14} {'accuracy':>9} {'down MB':>9} {'up MB':>8} {'time s':>8}")
+    for name, result in (("FedAvg", fedavg), ("GlueFL", gluefl)):
+        report = result.report()
+        print(
+            f"{name:<14} {result.final_accuracy():>9.3f} "
+            f"{report.dv_gb * 1e3:>9.1f} "
+            f"{(report.tv_gb - report.dv_gb) * 1e3:>8.1f} "
+            f"{report.tt_hours * 3600:>8.1f}"
+        )
+
+    saved = 1 - gluefl.report().dv_gb / fedavg.report().dv_gb
+    print(f"\nGlueFL downstream saving vs FedAvg: {saved:.0%}")
+
+
+if __name__ == "__main__":
+    main()

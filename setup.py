@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment is offline and has setuptools without the ``wheel``
+package, so PEP 660 editable installs (which require bdist_wheel) fail.
+With a ``setup.py`` present, ``pip install -e . --no-use-pep517`` takes the
+legacy develop-install path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,147 @@
+"""Strategy interface between the FL server and a masking/compression scheme.
+
+The server round loop (:mod:`repro.fl.server`) is strategy-agnostic; a
+:class:`CompressionStrategy` plugs in at four points:
+
+1. ``begin_round`` — per-round state decisions (e.g. GlueFL's shared-mask
+   regeneration schedule);
+2. ``client_compress`` — turn a client's raw local delta into an upstream
+   payload (with its wire size);
+3. ``aggregate`` — combine weighted payloads into the global update and
+   report which coordinates changed (what staleness tracking records);
+4. ``end_round`` — post-update state transitions (mask shift, APF freeze).
+
+Everything a strategy sends downstream beyond the staleness-driven value
+sync (e.g. GlueFL's shared-mask bitmap) is reported via
+``downstream_extra_bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ClientPayload", "AggregateResult", "CompressionStrategy"]
+
+
+@dataclass
+class ClientPayload:
+    """One client's upstream contribution.
+
+    Attributes
+    ----------
+    upstream_bytes:
+        Wire size of everything this client uploads this round.
+    data:
+        Strategy-specific arrays (sparse indices/values etc.).
+    """
+
+    upstream_bytes: int
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class AggregateResult:
+    """The server-side result of one round's aggregation.
+
+    Attributes
+    ----------
+    global_delta:
+        Dense length-``d`` update added to the global model.
+    changed_idx:
+        Coordinates where ``global_delta`` is (possibly) non-zero — exactly
+        the positions a stale client will eventually have to download.
+    """
+
+    global_delta: np.ndarray
+    changed_idx: np.ndarray
+
+
+class CompressionStrategy:
+    """Base class; subclasses override the four hook points."""
+
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.d: int = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def setup(self, d: int, rng: np.random.Generator) -> None:
+        """Bind the strategy to a model dimensionality."""
+        if d <= 0:
+            raise ValueError(f"model dimension must be positive, got {d}")
+        self.d = d
+
+    def begin_round(self, round_idx: int) -> None:
+        """Per-round state decisions before any client work."""
+
+    # -- downstream accounting -------------------------------------------------
+    def downstream_extra_bytes(self) -> int:
+        """Per-sampled-client downstream overhead beyond the value sync."""
+        return 0
+
+    # -- upstream estimate (for round-time scheduling) ----------------------------
+    def nominal_upstream_bytes(self) -> int:
+        """A-priori upload size per client this round.
+
+        The simulator schedules a round before payloads exist, so it needs
+        the upload size in advance; for every strategy here the size is
+        deterministic given the round's mask state.
+        """
+        raise NotImplementedError
+
+    # -- client side -----------------------------------------------------------
+    def client_compress(
+        self, client_id: int, delta: np.ndarray, weight: float
+    ) -> ClientPayload:
+        """Compress a client's local model delta into an upstream payload.
+
+        ``weight`` is the aggregation weight ν that the server will apply —
+        needed by re-scaled error compensation (Eq. 7).
+        """
+        raise NotImplementedError
+
+    # -- server side -------------------------------------------------------------
+    def aggregate(
+        self, payloads: Sequence[Tuple[int, float, ClientPayload]]
+    ) -> AggregateResult:
+        """Combine ``(client_id, weight, payload)`` triples into the update."""
+        raise NotImplementedError
+
+    def end_round(self, agg: AggregateResult, round_idx: int) -> None:
+        """Post-aggregation state transitions (mask updates, freezing)."""
+
+    # -- helpers ---------------------------------------------------------------
+    def _check_setup(self) -> None:
+        if self.d <= 0:
+            raise RuntimeError(
+                f"{type(self).__name__}.setup() must run before use"
+            )
+
+    def _check_delta(self, delta: np.ndarray) -> None:
+        if delta.ndim != 1 or delta.shape[0] != self.d:
+            raise ValueError(
+                f"delta must be a length-{self.d} vector, got {delta.shape}"
+            )
+
+
+def weighted_dense_sum(
+    payloads: Sequence[Tuple[int, float, ClientPayload]],
+    d: int,
+    key_idx: str = "idx",
+    key_vals: str = "vals",
+) -> np.ndarray:
+    """Accumulate ``Σ ν_i · sparse_i`` into a dense vector.
+
+    Shared by STC/GlueFL aggregation paths; uses ``np.add.at`` so repeated
+    indices across clients accumulate correctly.
+    """
+    acc = np.zeros(d)
+    for _, weight, payload in payloads:
+        idx = payload.data[key_idx]
+        vals = payload.data[key_vals]
+        if len(idx):
+            np.add.at(acc, idx, weight * vals)
+    return acc

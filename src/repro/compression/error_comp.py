@@ -1,0 +1,86 @@
+"""Error compensation (§3.3, Eq. 7).
+
+Clients remember the part of their update that compression discarded
+(``h_i = Δ_i − sent_i``) and add it back before compressing the next time
+they participate.  GlueFL's twist is *re-scaling*: because sticky sampling
+changes a client's aggregation weight between participations (ν_s when in
+the sticky group, ν_r otherwise), the remembered residual must be scaled by
+``ν^{φ(t)}_i / ν^t_i`` so that its weighted contribution to the global model
+is the one originally intended.  The ablation in Fig. 11 compares:
+
+* ``NONE`` — no compensation,
+* ``EC``   — plain compensation (no re-scale), which the paper shows
+  *breaks* GlueFL,
+* ``REC``  — re-scaled compensation (the default).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ErrorCompMode", "ResidualStore"]
+
+
+class ErrorCompMode(str, enum.Enum):
+    """Which error-compensation variant a strategy applies."""
+
+    NONE = "none"
+    EC = "ec"
+    REC = "rec"
+
+
+class ResidualStore:
+    """Per-client compression residuals with aggregation-weight memory.
+
+    Residuals are stored as float32 to bound memory (they are re-added to
+    float64 deltas; the quantization error is far below compression error).
+    """
+
+    def __init__(self, mode: ErrorCompMode = ErrorCompMode.REC):
+        self.mode = ErrorCompMode(mode)
+        self._residual: Dict[int, np.ndarray] = {}
+        self._weight: Dict[int, float] = {}
+
+    def compensate(
+        self, client_id: int, delta: np.ndarray, current_weight: float
+    ) -> np.ndarray:
+        """Return ``delta`` plus the (possibly re-scaled) stored residual.
+
+        Implements Eq. 7: ``Δ_i ← Δ_i + (ν^{φ(t)}_i / ν^t_i) · h^{φ(t)}_i``
+        in ``REC`` mode; ``EC`` adds the raw residual; ``NONE`` is identity.
+        """
+        if self.mode is ErrorCompMode.NONE:
+            return delta
+        h = self._residual.get(client_id)
+        if h is None:
+            return delta
+        if self.mode is ErrorCompMode.REC:
+            if current_weight <= 0:
+                raise ValueError(
+                    f"non-positive aggregation weight {current_weight} for "
+                    f"client {client_id}"
+                )
+            scale = self._weight[client_id] / current_weight
+            return delta + scale * h.astype(delta.dtype)
+        return delta + h.astype(delta.dtype)
+
+    def record(
+        self, client_id: int, residual: np.ndarray, weight: float
+    ) -> None:
+        """Store this participation's residual and the weight it was sent with."""
+        if self.mode is ErrorCompMode.NONE:
+            return
+        self._residual[client_id] = residual.astype(np.float32)
+        self._weight[client_id] = float(weight)
+
+    def peek(self, client_id: int) -> Optional[Tuple[np.ndarray, float]]:
+        """Inspect a stored residual (testing hook)."""
+        if client_id not in self._residual:
+            return None
+        return self._residual[client_id], self._weight[client_id]
+
+    def __len__(self) -> int:
+        return len(self._residual)

@@ -1,0 +1,49 @@
+"""FedAvg "compression": dense uploads, every coordinate changes.
+
+The no-compression baseline (McMahan et al., 2017).  Upstream payloads are
+the full dense delta; the aggregated update touches every coordinate, so a
+re-sampled client always downloads the whole model — which is what makes
+FedAvg's downstream volume the yardstick in Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.compression.base import AggregateResult, ClientPayload, CompressionStrategy
+from repro.network.encoding import dense_bytes
+
+__all__ = ["FedAvgStrategy"]
+
+
+class FedAvgStrategy(CompressionStrategy):
+    """Identity compression: upload everything, update everything."""
+
+    name = "fedavg"
+
+    def nominal_upstream_bytes(self) -> int:
+        self._check_setup()
+        return dense_bytes(self.d)
+
+    def client_compress(
+        self, client_id: int, delta: np.ndarray, weight: float
+    ) -> ClientPayload:
+        self._check_setup()
+        self._check_delta(delta)
+        return ClientPayload(
+            upstream_bytes=dense_bytes(self.d),
+            data={"dense": delta.copy()},
+        )
+
+    def aggregate(
+        self, payloads: Sequence[Tuple[int, float, ClientPayload]]
+    ) -> AggregateResult:
+        self._check_setup()
+        acc = np.zeros(self.d)
+        for _, weight, payload in payloads:
+            acc += weight * payload.data["dense"]
+        return AggregateResult(
+            global_delta=acc, changed_idx=np.arange(self.d, dtype=np.int64)
+        )

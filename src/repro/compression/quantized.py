@@ -1,0 +1,86 @@
+"""Quantization composed with any masking strategy (paper footnote 1).
+
+STC originally pairs sparsification with ternarization; the paper treats
+quantization as an orthogonal knob that compresses both directions and
+changes no conclusion.  :class:`QuantizedStrategy` wraps any
+:class:`~repro.compression.base.CompressionStrategy` and stochastically
+quantizes the *value* payloads clients upload, re-pricing the wire cost
+accordingly.  Stochastic rounding keeps the quantizer unbiased, so the
+wrapped strategy's aggregation statistics are preserved in expectation.
+
+Convention: payload ``data`` arrays under the keys ``"dense"``, ``"vals"``
+and ``"shr_vals"`` are value payloads (this holds for every strategy in
+:mod:`repro.compression`); addressing arrays (``"idx"``) are untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.compression.base import (
+    AggregateResult,
+    ClientPayload,
+    CompressionStrategy,
+)
+from repro.compression.quantize import quantized_values_bytes, stochastic_quantize
+from repro.network.encoding import BYTES_PER_VALUE
+
+__all__ = ["QuantizedStrategy"]
+
+_VALUE_KEYS = ("dense", "vals", "shr_vals")
+
+
+class QuantizedStrategy(CompressionStrategy):
+    """Wrap ``inner`` and quantize its uploaded values to ``bits`` each."""
+
+    def __init__(self, inner: CompressionStrategy, bits: int = 8):
+        super().__init__()
+        if bits <= 0 or bits >= 32:
+            raise ValueError(f"bits must be in [1, 32), got {bits}")
+        self.inner = inner
+        self.bits = bits
+        self.name = f"{inner.name}+q{bits}"
+        self._rng: np.random.Generator = np.random.default_rng(0)
+
+    # -- delegation --------------------------------------------------------
+    def setup(self, d: int, rng: np.random.Generator) -> None:
+        super().setup(d, rng)
+        self._rng = rng
+        self.inner.setup(d, rng)
+
+    def begin_round(self, round_idx: int) -> None:
+        self.inner.begin_round(round_idx)
+
+    def downstream_extra_bytes(self) -> int:
+        return self.inner.downstream_extra_bytes()
+
+    def nominal_upstream_bytes(self) -> int:
+        # the inner estimate minus the float32->bits saving on its values;
+        # exact per-payload counts are applied in client_compress
+        return self.inner.nominal_upstream_bytes()
+
+    def end_round(self, agg: AggregateResult, round_idx: int) -> None:
+        self.inner.end_round(agg, round_idx)
+
+    def aggregate(
+        self, payloads: Sequence[Tuple[int, float, ClientPayload]]
+    ) -> AggregateResult:
+        return self.inner.aggregate(payloads)
+
+    # -- the actual quantization step ------------------------------------------
+    def client_compress(
+        self, client_id: int, delta: np.ndarray, weight: float
+    ) -> ClientPayload:
+        payload = self.inner.client_compress(client_id, delta, weight)
+        saved = 0
+        for key in _VALUE_KEYS:
+            values = payload.data.get(key)
+            if values is None or len(values) == 0:
+                continue
+            quantized, nbytes = stochastic_quantize(values, self.bits, self._rng)
+            payload.data[key] = quantized
+            saved += BYTES_PER_VALUE * len(values) - nbytes
+        payload.upstream_bytes = max(0, payload.upstream_bytes - saved)
+        return payload

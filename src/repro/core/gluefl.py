@@ -1,0 +1,100 @@
+"""GlueFL assembled: sticky sampling + mask shifting + REC, in one call.
+
+The paper's contribution is the *combination* of the pieces in
+:mod:`repro.fl.samplers` (Algorithm 2) and
+:mod:`repro.compression.gluefl_mask` (Algorithm 3).  This module packages
+them with the paper's default hyperparameters so that a user can write::
+
+    strategy, sampler = make_gluefl(num_to_sample=30)
+    config = RunConfig(dataset=..., model_name="shufflenet",
+                       strategy=strategy, sampler=sampler, rounds=500)
+    result = run_training(config)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.compression.error_comp import ErrorCompMode
+from repro.compression.fedavg import FedAvgStrategy
+from repro.compression.gluefl_mask import GlueFLMaskStrategy
+from repro.fl.samplers import StickySampler
+
+__all__ = ["make_gluefl", "make_sticky_fedavg"]
+
+
+def make_gluefl(
+    num_to_sample: int,
+    *,
+    group_size: Optional[int] = None,
+    sticky_count: Optional[int] = None,
+    q: float = 0.2,
+    q_shr: float = 0.16,
+    regen_interval: Optional[int] = 10,
+    error_comp: ErrorCompMode = ErrorCompMode.REC,
+    oc_sticky_share: Optional[float] = None,
+) -> Tuple[GlueFLMaskStrategy, StickySampler]:
+    """Build the GlueFL strategy + sampler pair with paper defaults.
+
+    Parameters
+    ----------
+    num_to_sample:
+        K — clients aggregated per round.
+    group_size:
+        S — sticky-group size; defaults to the paper's ``4K`` (§5.1).
+    sticky_count:
+        C — sticky participants per round; defaults to ``4K/5``.
+    q, q_shr:
+        Total and shared mask ratios (§5.1: 20%/16% for ShuffleNet,
+        30%/24% for MobileNet and ResNet-34).
+    regen_interval:
+        Shared-mask regeneration period I (§3.3; ``None`` = never).
+    error_comp:
+        Error-compensation mode (REC is the paper's default).
+    oc_sticky_share:
+        Over-commitment split between sticky/non-sticky pools (§5.6);
+        ``None`` uses the default ``C/K`` split.
+    """
+    if group_size is None:
+        group_size = 4 * num_to_sample
+    if sticky_count is None:
+        sticky_count = (4 * num_to_sample) // 5
+    strategy = GlueFLMaskStrategy(
+        q=q,
+        q_shr=q_shr,
+        regen_interval=regen_interval,
+        error_comp=error_comp,
+    )
+    sampler = StickySampler(
+        num_to_sample=num_to_sample,
+        group_size=group_size,
+        sticky_count=sticky_count,
+        oc_sticky_share=oc_sticky_share,
+    )
+    return strategy, sampler
+
+
+def make_sticky_fedavg(
+    num_to_sample: int,
+    *,
+    group_size: Optional[int] = None,
+    sticky_count: Optional[int] = None,
+    oc_sticky_share: Optional[float] = None,
+) -> Tuple[FedAvgStrategy, StickySampler]:
+    """Algorithm 2 alone: sticky sampling with dense (unmasked) updates.
+
+    This is exactly the configuration Theorem 2 analyzes — "GlueFL without
+    masking" (§4).  Useful for isolating the sampling mechanism's effect
+    (and its variance cost) from the compression mechanism's.
+    """
+    if group_size is None:
+        group_size = 4 * num_to_sample
+    if sticky_count is None:
+        sticky_count = (4 * num_to_sample) // 5
+    sampler = StickySampler(
+        num_to_sample=num_to_sample,
+        group_size=group_size,
+        sticky_count=sticky_count,
+        oc_sticky_share=oc_sticky_share,
+    )
+    return FedAvgStrategy(), sampler

@@ -1,0 +1,54 @@
+"""Paper default hyperparameters (§5.1), keyed by model architecture."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["GlueFLPreset", "PAPER_PRESETS", "preset_for_model"]
+
+
+@dataclass(frozen=True)
+class GlueFLPreset:
+    """Mask ratios and schedule from §5.1.
+
+    ``q``/``q_shr`` are total/shared mask ratios; ``regen_interval`` is the
+    shared-mask regeneration period; sticky parameters are expressed
+    relative to K (``S = s_factor·K``, ``C = c_factor·K``).
+    """
+
+    q: float
+    q_shr: float
+    regen_interval: int = 10
+    s_factor: int = 4
+    c_factor: float = 0.8
+    overcommit: float = 1.3
+
+    def group_size(self, k: int) -> int:
+        return self.s_factor * k
+
+    def sticky_count(self, k: int) -> int:
+        return max(1, int(round(self.c_factor * k)))
+
+
+#: §5.1: q = 20% for ShuffleNet (q_shr = 16%); q = 30% for MobileNet and
+#: ResNet-34 (q_shr = 24%); S = 4K, C = 4K/5, I = 10, OC = 1.3 everywhere.
+PAPER_PRESETS: Dict[str, GlueFLPreset] = {
+    "shufflenet": GlueFLPreset(q=0.20, q_shr=0.16),
+    "mobilenet": GlueFLPreset(q=0.30, q_shr=0.24),
+    "resnet": GlueFLPreset(q=0.30, q_shr=0.24),
+    # CPU-scale stand-in models reuse the ShuffleNet ratios
+    "mlp": GlueFLPreset(q=0.20, q_shr=0.16),
+    "cnn": GlueFLPreset(q=0.20, q_shr=0.16),
+}
+
+
+def preset_for_model(model_name: str) -> GlueFLPreset:
+    """Paper hyperparameters for a model architecture."""
+    try:
+        return PAPER_PRESETS[model_name]
+    except KeyError:
+        raise KeyError(
+            f"no preset for model {model_name!r}; known: "
+            f"{sorted(PAPER_PRESETS)}"
+        ) from None

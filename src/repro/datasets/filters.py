@@ -1,0 +1,47 @@
+"""Client filtering, mirroring FedScale preprocessing.
+
+The paper (§5.1) removes clients with fewer than 22 samples — FedScale's
+default — before training.  We apply the same rule to the synthetic
+federations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.datasets.base import ClientDataset, FederatedDataset
+
+#: FedScale's default minimum local-shard size (paper §5.1).
+FEDSCALE_MIN_SAMPLES = 22
+
+__all__ = ["filter_min_samples", "FEDSCALE_MIN_SAMPLES"]
+
+
+def filter_min_samples(
+    dataset: FederatedDataset, min_samples: int = FEDSCALE_MIN_SAMPLES
+) -> FederatedDataset:
+    """Drop clients whose shard is smaller than ``min_samples``.
+
+    Client ids are re-assigned to be contiguous after filtering, matching
+    how the simulator indexes clients ``0..N-1``.
+    """
+    kept: List[ClientDataset] = []
+    for client in dataset.clients:
+        if len(client) >= min_samples:
+            kept.append(
+                ClientDataset(x=client.x, y=client.y, client_id=len(kept))
+            )
+    if not kept:
+        raise ValueError(
+            f"min_samples={min_samples} filtered out every client "
+            f"(largest shard: {max((len(c) for c in dataset.clients), default=0)})"
+        )
+    return FederatedDataset(
+        clients=kept,
+        test_x=dataset.test_x,
+        test_y=dataset.test_y,
+        num_classes=dataset.num_classes,
+        in_channels=dataset.in_channels,
+        image_size=dataset.image_size,
+        name=dataset.name,
+    )

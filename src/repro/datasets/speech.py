@@ -1,0 +1,44 @@
+"""Google-Speech-like federation (keyword-spotting spectrograms).
+
+The paper's Google Speech has 2,066 clients and 105K speech samples,
+classified with ResNet-34 over spectrogram-style inputs.  The stand-in
+generates sparse time-frequency "tone track" prototypes per keyword class
+(see :func:`repro.datasets.synthetic.spectrogram_prototypes`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import FederatedDataset
+from repro.datasets.synthetic import synthetic_federation
+
+__all__ = ["speech_like"]
+
+
+def speech_like(
+    num_clients: int = 200,
+    num_classes: int = 10,
+    image_size: int = 32,
+    samples_per_client: int = 50,
+    alpha: float = 0.5,
+    noise: float = 0.8,
+    min_samples: int = 10,
+    seed: int = 0,
+    rng: np.random.Generator | None = None,
+) -> FederatedDataset:
+    """Build the Google Speech stand-in federation (1-channel spectrograms)."""
+    gen = rng if rng is not None else np.random.default_rng(seed)
+    return synthetic_federation(
+        name="google_speech",
+        num_clients=num_clients,
+        num_classes=num_classes,
+        in_channels=1,
+        image_size=image_size,
+        samples_per_client=samples_per_client,
+        alpha=alpha,
+        noise=noise,
+        rng=gen,
+        prototype_kind="spectrogram",
+        min_samples=min_samples,
+    )

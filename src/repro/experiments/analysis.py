@@ -1,0 +1,86 @@
+"""Post-hoc analysis of run records (staleness curves, breakdowns).
+
+These helpers turn a :class:`~repro.fl.metrics.RunResult` into the derived
+series the paper plots, so users can compute them for their own runs
+without going through the figure modules.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.fl.metrics import RunResult
+from repro.network.encoding import dense_bytes
+
+__all__ = ["gap_fraction_curve", "time_breakdown", "participation_counts"]
+
+
+def gap_fraction_curve(
+    result: RunResult, d: Optional[int] = None, max_gap: Optional[int] = None
+) -> Dict[int, float]:
+    """Fig. 2b's curve: mean downloaded model fraction vs skipped rounds.
+
+    Requires the run to have been executed with
+    ``RunConfig.collect_sync_details=True``.  First-ever contacts
+    (gap = −1) are excluded.
+
+    Parameters
+    ----------
+    result:
+        A finished run.
+    d:
+        Model dimensionality; defaults to ``result.meta["d"]``.
+    max_gap:
+        Truncate the curve (gaps with few samples are noisy).
+    """
+    if d is None:
+        d = int(result.meta["d"])
+    full = dense_bytes(d)
+    bucket: Dict[int, list] = defaultdict(list)
+    saw_details = False
+    for record in result.records:
+        if record.sync_details is None:
+            continue
+        saw_details = True
+        for _, gap, nbytes in record.sync_details:
+            if gap >= 1 and (max_gap is None or gap <= max_gap):
+                bucket[gap].append(nbytes / full)
+    if not saw_details:
+        raise ValueError(
+            "run has no sync details; re-run with collect_sync_details=True"
+        )
+    return {gap: float(np.mean(vals)) for gap, vals in sorted(bucket.items())}
+
+
+def time_breakdown(result: RunResult) -> Dict[str, float]:
+    """Fig. 9's bar: mean per-round download/compute/upload/total seconds."""
+    return {
+        "download_s": float(np.mean(result.series("download_seconds"))),
+        "compute_s": float(np.mean(result.series("compute_seconds"))),
+        "upload_s": float(np.mean(result.series("upload_seconds"))),
+        "round_s": float(np.mean(result.series("round_seconds"))),
+    }
+
+
+def participation_counts(result: RunResult) -> Dict[int, int]:
+    """How many times each client was *contacted* during the run.
+
+    Requires sync details (every contacted candidate appears there).
+    Useful for verifying sticky sampling's participation skew empirically.
+    """
+    counts: Dict[int, int] = defaultdict(int)
+    saw_details = False
+    for record in result.records:
+        if record.sync_details is None:
+            continue
+        saw_details = True
+        for cid, _, _ in record.sync_details:
+            counts[cid] += 1
+    if not saw_details:
+        raise ValueError(
+            "run has no sync details; re-run with collect_sync_details=True"
+        )
+    return dict(counts)

@@ -1,0 +1,71 @@
+"""ASCII rendering of (x, y) series — terminal stand-ins for the figures.
+
+The benchmark environment has no matplotlib; these plots make the
+accuracy-vs-bandwidth curves visually comparable in bench output (run
+pytest with ``-s``).  Each series gets a distinct glyph; the legend maps
+glyphs back to labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_plot"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "cumulative downstream GB",
+    y_label: str = "accuracy",
+) -> str:
+    """Render multiple (x, y) series on one character grid.
+
+    Later-plotted series overwrite earlier ones on collisions; the
+    plotting order follows dict insertion order, so put the headline
+    series last.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    points = [
+        (x, y) for pts in series.values() for x, y in pts
+    ]
+    if not points:
+        raise ValueError("all series are empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    legend = []
+    for (label, pts), glyph in zip(series.items(), _GLYPHS * 4):
+        legend.append(f"{glyph} = {label}")
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            axis = f"{y_hi:8.3f} |"
+        elif i == height - 1:
+            axis = f"{y_lo:8.3f} |"
+        else:
+            axis = " " * 8 + " |"
+        lines.append(axis + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_lo:<10.3g}{x_label:^{max(width - 20, 0)}}{x_hi:>10.3g}"
+    )
+    lines.append(" " * 10 + "   ".join(legend))
+    lines.append(" " * 10 + f"(y: {y_label})")
+    return "\n".join(lines)

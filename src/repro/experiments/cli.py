@@ -1,0 +1,168 @@
+"""Command-line entry point for regenerating paper artifacts.
+
+Usage::
+
+    python -m repro.experiments.cli list
+    python -m repro.experiments.cli fig2 --rounds 60
+    python -m repro.experiments.cli table2 --scenarios femnist-shufflenet
+    python -m repro.experiments.cli all --rounds 60
+
+Each subcommand runs the corresponding experiment module and prints the
+paper-style table/series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.experiments import (
+    run_case_study,
+    run_fig1,
+    run_fig2,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_table2,
+    run_table3a,
+    run_table3b,
+)
+from repro.experiments.fig1 import format_fig1
+from repro.experiments.fig2 import format_fig2
+from repro.experiments.fig5 import format_fig5
+from repro.experiments.fig6 import format_fig6
+from repro.experiments.fig7 import format_fig7
+from repro.experiments.fig8 import format_fig8
+from repro.experiments.fig9 import format_fig9
+from repro.experiments.fig10 import format_fig10
+from repro.experiments.fig11 import format_fig11
+from repro.experiments.table2 import format_table2
+from repro.experiments.table3 import format_table3
+from repro.experiments.theory_tables import format_case_study
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig1(args) -> str:
+    return format_fig1(run_fig1(seed=args.seed))
+
+
+def _fig2(args) -> str:
+    return format_fig2(run_fig2(rounds=args.rounds, seed=args.seed))
+
+
+def _table2(args) -> str:
+    kwargs = {}
+    if args.scenarios:
+        kwargs["scenario_names"] = tuple(args.scenarios)
+    return format_table2(
+        run_table2(rounds=args.rounds, seed=args.seed, **kwargs)
+    )
+
+
+def _fig5(args) -> str:
+    return format_fig5(run_fig5(rounds=args.rounds, seed=args.seed))
+
+
+def _fig6(args) -> str:
+    return format_fig6(run_fig6(rounds=args.rounds, seed=args.seed))
+
+
+def _fig7(args) -> str:
+    return format_fig7(run_fig7(rounds=args.rounds, seed=args.seed))
+
+
+def _fig8(args) -> str:
+    return format_fig8(run_fig8(rounds=args.rounds, seed=args.seed))
+
+
+def _fig9(args) -> str:
+    return format_fig9(run_fig9(rounds=args.rounds, seed=args.seed))
+
+
+def _fig10(args) -> str:
+    return format_fig10(run_fig10(rounds=args.rounds, seed=args.seed))
+
+
+def _fig11(args) -> str:
+    return format_fig11(run_fig11(rounds=args.rounds, seed=args.seed))
+
+
+def _table3(args) -> str:
+    a = run_table3a(rounds=args.rounds, seed=args.seed)
+    b = run_table3b(rounds=args.rounds, seed=args.seed)
+    return (
+        format_table3(a, "Table 3a: OC split strategies")
+        + "\n\n"
+        + format_table3(b, "Table 3b: OC values")
+    )
+
+
+def _theory(args) -> str:
+    return format_case_study(run_case_study())
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1": _fig1,
+    "fig2": _fig2,
+    "table2": _table2,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "table3": _table3,
+    "theory": _theory,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.cli",
+        description="Regenerate GlueFL paper tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list", "all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument("--rounds", type=int, default=None, help="override round budget")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scenarios", nargs="*", default=None, help="table2 scenario subset"
+    )
+    parser.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="also write the rendered artifact(s) to a text file",
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print("\n".join(sorted(EXPERIMENTS)))
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    chunks = []
+    for name in names:
+        rendered = EXPERIMENTS[name](args)
+        chunks.append(rendered)
+        print(rendered)
+        print()
+    if args.save:
+        from pathlib import Path
+
+        Path(args.save).write_text("\n\n".join(chunks) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Figure 1: distribution of client network bandwidth.
+
+Reproduces the quantile structure of the M-Lab NDT sample the paper plots:
+the CDF of download/upload rates and the headline statistic ("~20% of
+devices have ≤ 10 Mbps download").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.network.bandwidth import ndt_like_bandwidth
+from repro.utils.rng import child_rng
+
+__all__ = ["run_fig1"]
+
+_QUANTILES = (0.05, 0.10, 0.20, 0.50, 0.80, 0.90, 0.95)
+
+
+def run_fig1(num_devices: int = 5000, seed: int = 0) -> Dict:
+    """Sample the NDT-like distribution; return CDF anchor points."""
+    sample = ndt_like_bandwidth(num_devices, child_rng(seed, "fig1"))
+    out = {
+        "num_devices": num_devices,
+        "frac_download_leq_10mbps": sample.fraction_below(10.0, "down"),
+        "frac_upload_leq_10mbps": sample.fraction_below(10.0, "up"),
+        "quantiles": {},
+        "mean_up_down_ratio": float(
+            np.mean(sample.up_mbps / sample.down_mbps)
+        ),
+    }
+    for q in _QUANTILES:
+        out["quantiles"][q] = {
+            "down_mbps": float(np.quantile(sample.down_mbps, q)),
+            "up_mbps": float(np.quantile(sample.up_mbps, q)),
+        }
+    return out
+
+
+def format_fig1(result: Dict) -> str:
+    lines = [
+        "Figure 1: client bandwidth distribution (NDT-like sample)",
+        "---------------------------------------------------------",
+        f"devices: {result['num_devices']}",
+        f"P(download <= 10 Mbps) = {result['frac_download_leq_10mbps']:.3f}"
+        "   (paper: ~0.20)",
+    ]
+    lines.append(f"{'quantile':>9} {'down Mbps':>11} {'up Mbps':>9}")
+    for q, row in result["quantiles"].items():
+        lines.append(
+            f"{q:>9.2f} {row['down_mbps']:>11.1f} {row['up_mbps']:>9.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Figure 11: ablation of error compensation (None / EC / REC).
+
+The paper's Fig. 11 shows that plain error compensation (no re-scaling)
+*breaks* GlueFL under sticky sampling — residuals accumulated under one
+aggregation weight re-enter under another, biasing the update — while the
+re-scaled variant (Eq. 7) converges best.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.compression.error_comp import ErrorCompMode
+from repro.experiments.report import format_series
+from repro.experiments.runner import run_strategy
+from repro.experiments.scenarios import get_scenario
+
+__all__ = ["run_fig11", "format_fig11"]
+
+_MODES = {
+    "GlueFL (None)": ErrorCompMode.NONE,
+    "GlueFL (EC)": ErrorCompMode.EC,
+    "GlueFL (REC)": ErrorCompMode.REC,
+}
+
+
+def run_fig11(
+    scenario_name: str = "femnist-shufflenet",
+    rounds: Optional[int] = None,
+    seed: int = 0,
+) -> Dict:
+    scenario = get_scenario(scenario_name)
+    if rounds is not None:
+        scenario = scenario.with_(rounds=rounds)
+    runs = {"FedAvg": run_strategy(scenario, "fedavg", seed=seed)}
+    for label, mode in _MODES.items():
+        runs[label] = run_strategy(
+            scenario,
+            "gluefl",
+            seed=seed,
+            strategy_kwargs={"error_comp": mode},
+        )
+    return {
+        "scenario": scenario.name,
+        "series": {k: r.accuracy_vs_down_gb() for k, r in runs.items()},
+        "final": {k: r.final_accuracy() for k, r in runs.items()},
+        "results": runs,
+    }
+
+
+def format_fig11(result: Dict) -> str:
+    text = format_series(
+        f"Figure 11 [{result['scenario']}]: error compensation ablation",
+        result["series"],
+    )
+    finals = "  ".join(f"{k}: {v:.3f}" for k, v in result["final"].items())
+    return f"{text}\nfinal accuracy: {finals}"

@@ -1,0 +1,53 @@
+"""Figure 5: effect of aggregation weights — unbiased ν vs equal 1/K.
+
+Compares GlueFL with its Theorem-1 inverse-propensity weights against the
+biased equal-weight variant (and the FedAvg reference), as accuracy vs
+cumulative downstream bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.report import format_series
+from repro.experiments.runner import run_strategy
+from repro.experiments.scenarios import get_scenario
+
+__all__ = ["run_fig5", "format_fig5"]
+
+
+def run_fig5(
+    scenario_names: Sequence[str] = ("femnist-shufflenet", "speech-resnet"),
+    rounds: Optional[int] = None,
+    seed: int = 0,
+) -> Dict:
+    out: Dict = {}
+    for scenario_name in scenario_names:
+        scenario = get_scenario(scenario_name)
+        if rounds is not None:
+            scenario = scenario.with_(rounds=rounds)
+        runs = {
+            "FedAvg": run_strategy(scenario, "fedavg", seed=seed),
+            "GlueFL (Equal)": run_strategy(
+                scenario, "gluefl", seed=seed, weight_mode="equal"
+            ),
+            "GlueFL": run_strategy(scenario, "gluefl", seed=seed),
+        }
+        out[scenario_name] = {
+            "series": {k: r.accuracy_vs_down_gb() for k, r in runs.items()},
+            "final": {k: r.final_accuracy() for k, r in runs.items()},
+            "results": runs,
+        }
+    return out
+
+
+def format_fig5(result: Dict) -> str:
+    blocks = []
+    for scenario_name, cell in result.items():
+        blocks.append(
+            format_series(
+                f"Figure 5 [{scenario_name}]: aggregation weights",
+                cell["series"],
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,53 @@
+"""Figure 6: sensitivity to the sticky-group size S.
+
+Sweeps S over multiples of K (the paper uses S ∈ {30, 60, 120, 240} with
+K = 30, i.e. {K, 2K, 4K, 8K}), plotting accuracy vs cumulative downstream
+bandwidth.  Note S = K makes the sticky group exactly the per-round cohort;
+S must stay below N.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.report import format_series
+from repro.experiments.runner import run_strategy
+from repro.experiments.scenarios import get_scenario
+
+__all__ = ["run_fig6", "format_fig6"]
+
+
+def run_fig6(
+    scenario_name: str = "femnist-shufflenet",
+    s_factors: Sequence[int] = (1, 2, 4, 8),
+    rounds: Optional[int] = None,
+    seed: int = 0,
+) -> Dict:
+    scenario = get_scenario(scenario_name)
+    if rounds is not None:
+        scenario = scenario.with_(rounds=rounds)
+    runs = {"FedAvg": run_strategy(scenario, "fedavg", seed=seed)}
+    for factor in s_factors:
+        s = factor * scenario.k
+        label = f"GlueFL (S = {s})"
+        runs[label] = run_strategy(
+            scenario,
+            "gluefl",
+            seed=seed,
+            strategy_kwargs={"group_size": s},
+        )
+    return {
+        "scenario": scenario.name,
+        "series": {k: r.accuracy_vs_down_gb() for k, r in runs.items()},
+        "dv_total_gb": {
+            k: float(r.cumulative_down_bytes()[-1]) / 1e9 for k, r in runs.items()
+        },
+        "results": runs,
+    }
+
+
+def format_fig6(result: Dict) -> str:
+    return format_series(
+        f"Figure 6 [{result['scenario']}]: sticky group size S",
+        result["series"],
+    )

@@ -1,0 +1,58 @@
+"""Figure 7: sensitivity to the sticky participant count C.
+
+The paper sweeps C ∈ {6, 18, 24} with K = 30 (i.e. K/5, 3K/5, 4K/5): small
+C brings many fresh clients per round, inflating downstream bandwidth
+without an accuracy payoff.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.report import format_series
+from repro.experiments.runner import run_strategy
+from repro.experiments.scenarios import get_scenario
+
+__all__ = ["run_fig7", "format_fig7"]
+
+
+def run_fig7(
+    scenario_name: str = "femnist-shufflenet",
+    c_fractions: Sequence[float] = (0.2, 0.6, 0.8),
+    rounds: Optional[int] = None,
+    seed: int = 0,
+) -> Dict:
+    scenario = get_scenario(scenario_name)
+    if rounds is not None:
+        scenario = scenario.with_(rounds=rounds)
+    runs = {"FedAvg": run_strategy(scenario, "fedavg", seed=seed)}
+    down_per_round = {}
+    for frac in c_fractions:
+        c = max(1, int(round(frac * scenario.k)))
+        label = f"GlueFL (C = {c})"
+        res = run_strategy(
+            scenario,
+            "gluefl",
+            seed=seed,
+            strategy_kwargs={"sticky_count": c},
+        )
+        runs[label] = res
+        down_per_round[label] = float(res.series("down_bytes").mean()) / 1e6
+    return {
+        "scenario": scenario.name,
+        "series": {k: r.accuracy_vs_down_gb() for k, r in runs.items()},
+        "mean_down_mb_per_round": down_per_round,
+        "results": runs,
+    }
+
+
+def format_fig7(result: Dict) -> str:
+    text = format_series(
+        f"Figure 7 [{result['scenario']}]: sticky sampling parameter C",
+        result["series"],
+    )
+    extras = "  ".join(
+        f"{k}: {v:.2f} MB/round"
+        for k, v in result["mean_down_mb_per_round"].items()
+    )
+    return f"{text}\nmean downstream: {extras}"

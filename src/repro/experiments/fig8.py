@@ -1,0 +1,52 @@
+"""Figure 8: sensitivity to the shared-mask ratio q_shr.
+
+The paper sweeps q_shr ∈ {4%, 8%, 16%} at q = 20% (i.e. q/5, 2q/5, 4q/5):
+a high shared ratio minimizes downstream bandwidth without a substantial
+accuracy drop, thanks to regeneration + error compensation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.report import format_series
+from repro.experiments.runner import run_strategy
+from repro.experiments.scenarios import get_scenario
+
+__all__ = ["run_fig8", "format_fig8"]
+
+
+def run_fig8(
+    scenario_name: str = "femnist-shufflenet",
+    shr_fractions: Sequence[float] = (0.2, 0.4, 0.8),
+    rounds: Optional[int] = None,
+    seed: int = 0,
+) -> Dict:
+    scenario = get_scenario(scenario_name)
+    if rounds is not None:
+        scenario = scenario.with_(rounds=rounds)
+    runs = {"FedAvg": run_strategy(scenario, "fedavg", seed=seed)}
+    for frac in shr_fractions:
+        q_shr = frac * scenario.q
+        label = f"GlueFL (q_shr = {q_shr:.0%})"
+        runs[label] = run_strategy(
+            scenario,
+            "gluefl",
+            seed=seed,
+            strategy_kwargs={"q_shr": q_shr},
+        )
+    return {
+        "scenario": scenario.name,
+        "series": {k: r.accuracy_vs_down_gb() for k, r in runs.items()},
+        "dv_total_gb": {
+            k: float(r.cumulative_down_bytes()[-1]) / 1e9 for k, r in runs.items()
+        },
+        "results": runs,
+    }
+
+
+def format_fig8(result: Dict) -> str:
+    return format_series(
+        f"Figure 8 [{result['scenario']}]: shared mask ratio q_shr",
+        result["series"],
+    )

@@ -1,0 +1,71 @@
+"""Figure 9: per-round time breakdown across network environments.
+
+For each of the three environments (end-user NDT-like, commercial 5G,
+datacenter) and each strategy, measures the average per-round download,
+upload, and computation time.  The paper's findings: transmission dominates
+on end-user links (and masking shifts the bottleneck from upload to
+download); computation dominates on 5G and in the datacenter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import STRATEGY_NAMES, run_strategy
+from repro.experiments.scenarios import get_scenario
+
+__all__ = ["run_fig9", "format_fig9"]
+
+ENVIRONMENTS = ("ndt", "5g", "datacenter")
+
+
+def run_fig9(
+    scenario_name: str = "femnist-shufflenet",
+    environments: Sequence[str] = ENVIRONMENTS,
+    strategies: Sequence[str] = STRATEGY_NAMES,
+    rounds: Optional[int] = 40,
+    seed: int = 0,
+) -> Dict:
+    scenario = get_scenario(scenario_name)
+    if rounds is not None:
+        scenario = scenario.with_(rounds=rounds)
+    out: Dict = {"scenario": scenario.name, "environments": {}}
+    for env in environments:
+        rows = {}
+        for strategy_name in strategies:
+            result = run_strategy(
+                scenario,
+                strategy_name,
+                seed=seed,
+                network_profile=env,
+                eval_every=10**9,  # timing only
+            )
+            rows[strategy_name] = {
+                "download_s": float(np.mean(result.series("download_seconds"))),
+                "upload_s": float(np.mean(result.series("upload_seconds"))),
+                "compute_s": float(np.mean(result.series("compute_seconds"))),
+                "round_s": float(np.mean(result.series("round_seconds"))),
+            }
+        out["environments"][env] = rows
+    return out
+
+
+def format_fig9(result: Dict) -> str:
+    lines = [
+        f"Figure 9 [{result['scenario']}]: per-round time breakdown (seconds)",
+        "---------------------------------------------------------------------",
+    ]
+    for env, rows in result["environments"].items():
+        lines.append(f"[{env}]")
+        lines.append(
+            f"{'strategy':<10} {'download':>9} {'upload':>9} "
+            f"{'compute':>9} {'round':>9}"
+        )
+        for name, row in rows.items():
+            lines.append(
+                f"{name:<10} {row['download_s']:>9.3f} {row['upload_s']:>9.3f} "
+                f"{row['compute_s']:>9.3f} {row['round_s']:>9.3f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Experiment runner: scenario × strategy → RunResult.
+
+Builds the strategy/sampler pair by name with the scenario's mask ratios
+and the paper's sticky geometry, assembles a :class:`RunConfig`, and runs
+it.  All figure/table modules in this package go through
+:func:`run_strategy` so their configurations stay comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.compression.apf import APFStrategy
+from repro.compression.base import CompressionStrategy
+from repro.compression.error_comp import ErrorCompMode
+from repro.compression.fedavg import FedAvgStrategy
+from repro.compression.gluefl_mask import GlueFLMaskStrategy
+from repro.compression.stc import STCStrategy
+from repro.core.gluefl import make_gluefl
+from repro.experiments.scenarios import Scenario
+from repro.fl.config import RunConfig
+from repro.fl.metrics import RunResult
+from repro.fl.samplers import ClientSampler, StickySampler, UniformSampler
+from repro.fl.server import run_training
+
+__all__ = ["make_strategy", "build_config", "run_strategy", "STRATEGY_NAMES"]
+
+STRATEGY_NAMES = ("fedavg", "stc", "apf", "gluefl")
+
+
+def make_strategy(
+    name: str,
+    scenario: Scenario,
+    *,
+    group_size: Optional[int] = None,
+    sticky_count: Optional[int] = None,
+    q: Optional[float] = None,
+    q_shr: Optional[float] = None,
+    regen_interval: Optional[int] = "default",  # type: ignore[assignment]
+    error_comp: ErrorCompMode = ErrorCompMode.REC,
+    oc_sticky_share: Optional[float] = None,
+) -> Tuple[CompressionStrategy, ClientSampler]:
+    """Build a named strategy with the scenario's defaults.
+
+    GlueFL-specific knobs (``group_size``, ``sticky_count``, ``q_shr``,
+    ``regen_interval``, ``error_comp``, ``oc_sticky_share``) are accepted so
+    the sensitivity/ablation experiments can sweep them; they are ignored
+    for the baselines.
+    """
+    q_eff = q if q is not None else scenario.q
+    if name == "fedavg":
+        return FedAvgStrategy(), UniformSampler(scenario.k)
+    if name == "stc":
+        return STCStrategy(q=q_eff), UniformSampler(scenario.k)
+    if name == "apf":
+        return APFStrategy(), UniformSampler(scenario.k)
+    if name == "gluefl":
+        regen = (
+            scenario.regen_interval if regen_interval == "default" else regen_interval
+        )
+        return make_gluefl(
+            scenario.k,
+            group_size=group_size,
+            sticky_count=sticky_count,
+            q=q_eff,
+            q_shr=q_shr if q_shr is not None else scenario.q_shr,
+            regen_interval=regen,
+            error_comp=error_comp,
+            oc_sticky_share=oc_sticky_share,
+        )
+    raise KeyError(f"unknown strategy {name!r}; known: {STRATEGY_NAMES}")
+
+
+def build_config(
+    scenario: Scenario,
+    strategy: CompressionStrategy,
+    sampler: ClientSampler,
+    *,
+    seed: int = 0,
+    **overrides,
+) -> RunConfig:
+    """Assemble the RunConfig for one run (overrides win over the scenario)."""
+    params = dict(
+        dataset=scenario.dataset(seed),
+        model_name=scenario.model_name,
+        model_kwargs=dict(scenario.model_kwargs),
+        strategy=strategy,
+        sampler=sampler,
+        rounds=scenario.rounds,
+        local_steps=scenario.local_steps,
+        batch_size=scenario.batch_size,
+        lr=scenario.lr,
+        eval_every=scenario.eval_every,
+        eval_top_k=scenario.eval_top_k,
+        seed=seed,
+    )
+    params.update(overrides)
+    return RunConfig(**params)
+
+
+def run_strategy(
+    scenario: Scenario,
+    strategy_name: str,
+    *,
+    seed: int = 0,
+    strategy_kwargs: Optional[dict] = None,
+    **config_overrides,
+) -> RunResult:
+    """Run one (scenario, strategy) cell and return its RunResult."""
+    strategy, sampler = make_strategy(
+        strategy_name, scenario, **(strategy_kwargs or {})
+    )
+    config = build_config(
+        scenario, strategy, sampler, seed=seed, **config_overrides
+    )
+    result = run_training(config)
+    result.meta["strategy_name"] = strategy_name
+    result.meta["scenario"] = scenario.name
+    return result

@@ -1,0 +1,232 @@
+"""Scaled workload presets for the paper's experiments.
+
+Each scenario pins a (dataset, model, K, masking ratios, training budget)
+tuple at three scales:
+
+* ``tiny``  — seconds-long runs for CI tests,
+* ``bench`` — the default used by the ``benchmarks/`` harness (minutes),
+* ``large`` — closer to the paper's geometry (N in the hundreds); still
+  CPU-tractable but not run by default.
+
+The mask ratios follow §5.1 (q = 20%/q_shr = 16% for the ShuffleNet-class
+scenario, 30%/24% for the MobileNet/ResNet-class ones); K, S = 4K and
+C = 4K/5 keep the paper's sticky geometry at every scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict
+
+from repro.datasets import femnist_like, openimage_like, speech_like
+from repro.datasets.base import FederatedDataset
+from repro.utils.registry import Registry
+
+__all__ = ["Scenario", "SCENARIOS", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One workload: dataset factory + model + FL geometry + mask ratios."""
+
+    name: str
+    dataset_fn: Callable[[int], FederatedDataset]  # seed -> dataset
+    model_name: str
+    k: int
+    rounds: int
+    q: float
+    q_shr: float
+    model_kwargs: Dict = field(default_factory=dict)
+    #: bench-scale training knobs: low lr + few local steps stretch
+    #: convergence over ~100 rounds, mirroring the paper's regime where
+    #: the target accuracy takes most of the run to reach
+    local_steps: int = 3
+    batch_size: int = 16
+    lr: float = 0.01
+    eval_every: int = 5
+    eval_top_k: int = 1
+    regen_interval: int = 10
+
+    def dataset(self, seed: int = 0) -> FederatedDataset:
+        return self.dataset_fn(seed)
+
+    def with_(self, **overrides) -> "Scenario":
+        return replace(self, **overrides)
+
+
+SCENARIOS: Registry[Scenario] = Registry("scenario")
+
+
+def _femnist(num_clients: int, samples: int, classes: int = 16, noise: float = 3.0):
+    def build(seed: int) -> FederatedDataset:
+        return femnist_like(
+            num_clients=num_clients,
+            num_classes=classes,
+            samples_per_client=samples,
+            noise=noise,
+            alpha=0.5,
+            seed=seed,
+        )
+
+    return build
+
+
+def _openimage(num_clients: int, samples: int, classes: int = 16, noise: float = 3.6):
+    def build(seed: int) -> FederatedDataset:
+        return openimage_like(
+            num_clients=num_clients,
+            num_classes=classes,
+            samples_per_client=samples,
+            noise=noise,
+            alpha=0.3,
+            seed=seed,
+        )
+
+    return build
+
+
+def _speech(num_clients: int, samples: int, classes: int = 16, noise: float = 2.4):
+    def build(seed: int) -> FederatedDataset:
+        return speech_like(
+            num_clients=num_clients,
+            num_classes=classes,
+            samples_per_client=samples,
+            noise=noise,
+            alpha=0.5,
+            seed=seed,
+        )
+
+    return build
+
+
+# --- bench scale (used by benchmarks/) -------------------------------------------
+SCENARIOS.add(
+    "femnist-shufflenet",
+    Scenario(
+        name="femnist-shufflenet",
+        dataset_fn=_femnist(150, 36),
+        model_name="mlp",
+        model_kwargs={"hidden": (48,)},
+        k=10,
+        rounds=100,
+        q=0.20,
+        q_shr=0.16,
+    ),
+)
+SCENARIOS.add(
+    "femnist-mobilenet",
+    Scenario(
+        name="femnist-mobilenet",
+        dataset_fn=_femnist(150, 36),
+        model_name="mlp",
+        model_kwargs={"hidden": (64, 32)},
+        k=10,
+        rounds=100,
+        q=0.30,
+        q_shr=0.24,
+    ),
+)
+SCENARIOS.add(
+    "openimage-shufflenet",
+    Scenario(
+        name="openimage-shufflenet",
+        dataset_fn=_openimage(240, 32),
+        model_name="mlp",
+        model_kwargs={"hidden": (48,)},
+        k=16,
+        rounds=100,
+        q=0.20,
+        q_shr=0.16,
+    ),
+)
+SCENARIOS.add(
+    "openimage-mobilenet",
+    Scenario(
+        name="openimage-mobilenet",
+        dataset_fn=_openimage(240, 32),
+        model_name="mlp",
+        model_kwargs={"hidden": (64, 32)},
+        k=16,
+        rounds=100,
+        q=0.30,
+        q_shr=0.24,
+    ),
+)
+SCENARIOS.add(
+    "speech-resnet",
+    Scenario(
+        name="speech-resnet",
+        dataset_fn=_speech(120, 40),
+        model_name="mlp",
+        model_kwargs={"hidden": (64, 48)},
+        k=10,
+        rounds=100,
+        q=0.30,
+        q_shr=0.24,
+    ),
+)
+
+# --- tiny scale (CI tests) ---------------------------------------------------------
+SCENARIOS.add(
+    "femnist-tiny",
+    Scenario(
+        name="femnist-tiny",
+        dataset_fn=_femnist(60, 32, classes=5, noise=1.2),
+        model_name="mlp",
+        model_kwargs={"hidden": (24,)},
+        k=6,
+        rounds=20,
+        q=0.20,
+        q_shr=0.16,
+        lr=0.05,
+        eval_every=4,
+    ),
+)
+
+# --- large scale (true conv models; closer to paper geometry) ------------------------
+SCENARIOS.add(
+    "femnist-shufflenet-large",
+    Scenario(
+        name="femnist-shufflenet-large",
+        dataset_fn=_femnist(600, 44, classes=16),
+        model_name="shufflenet",
+        k=30,
+        rounds=300,
+        q=0.20,
+        q_shr=0.16,
+        local_steps=10,
+        eval_top_k=1,
+    ),
+)
+SCENARIOS.add(
+    "speech-resnet-large",
+    Scenario(
+        name="speech-resnet-large",
+        dataset_fn=_speech(400, 48, classes=16),
+        model_name="resnet",
+        k=30,
+        rounds=300,
+        q=0.30,
+        q_shr=0.24,
+        local_steps=10,
+    ),
+)
+SCENARIOS.add(
+    "openimage-mobilenet-large",
+    Scenario(
+        name="openimage-mobilenet-large",
+        dataset_fn=_openimage(800, 40, classes=16),
+        model_name="mobilenet",
+        k=50,
+        rounds=300,
+        q=0.30,
+        q_shr=0.24,
+        local_steps=10,
+        eval_top_k=5,
+    ),
+)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario preset by name."""
+    return SCENARIOS.get(name)

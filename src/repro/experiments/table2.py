@@ -1,0 +1,63 @@
+"""Table 2: the headline comparison — DV/TV/DT/TT at target accuracy.
+
+Runs FedAvg, STC, APF, and GlueFL on each scenario, picks the target
+accuracy as the highest level every approach reaches (the paper's rule),
+and reports downstream volume, total volume, download time, and total time
+at that target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.report import (
+    common_target_accuracy,
+    format_table,
+    table2_rows,
+)
+from repro.experiments.runner import STRATEGY_NAMES, run_strategy
+from repro.experiments.scenarios import get_scenario
+
+__all__ = ["run_table2", "format_table2"]
+
+
+def run_table2(
+    scenario_names: Sequence[str] = (
+        "femnist-shufflenet",
+        "femnist-mobilenet",
+        "openimage-shufflenet",
+        "openimage-mobilenet",
+        "speech-resnet",
+    ),
+    strategies: Sequence[str] = STRATEGY_NAMES,
+    rounds: Optional[int] = None,
+    seed: int = 0,
+) -> Dict:
+    """Run the full strategy × scenario grid; return per-cell reports."""
+    out: Dict = {}
+    for scenario_name in scenario_names:
+        scenario = get_scenario(scenario_name)
+        if rounds is not None:
+            scenario = scenario.with_(rounds=rounds)
+        results = {
+            name: run_strategy(scenario, name, seed=seed)
+            for name in strategies
+        }
+        target = common_target_accuracy(results)
+        out[scenario_name] = {
+            "target_accuracy": target,
+            "rows": table2_rows(results, target),
+            "results": results,
+        }
+    return out
+
+
+def format_table2(table: Dict) -> str:
+    blocks = []
+    for scenario_name, cell in table.items():
+        title = (
+            f"Table 2 [{scenario_name}]  "
+            f"(target accuracy {cell['target_accuracy']:.3f})"
+        )
+        blocks.append(format_table(title, cell["rows"]))
+    return "\n\n".join(blocks)

@@ -1,0 +1,94 @@
+"""Table 3: over-commitment strategies (a) and values (b).
+
+(a) With OC fixed at 1.3, sweep how the extra candidates split between the
+sticky and non-sticky pools: 10% / 30% / 50% / C:K (the naive default).
+Fewer sticky extras → sticky stragglers stop gating the round clock without
+extra downstream volume.
+
+(b) With the best split (10%), sweep the OC value 1.0 → 1.5: going above
+1.0 collapses training time (no waiting for stragglers/dropouts); going
+past ~1.3 buys little time for substantially more downstream volume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.runner import run_strategy
+from repro.experiments.scenarios import get_scenario
+
+__all__ = ["run_table3a", "run_table3b", "format_table3"]
+
+
+def _row(result, target_accuracy=None) -> Dict:
+    report = result.report(target_accuracy)
+    return {
+        "dv_gb": report.dv_gb,
+        "tv_gb": report.tv_gb,
+        "dt_hours": report.dt_hours,
+        "tt_hours": report.tt_hours,
+        "final_accuracy": report.final_accuracy,
+    }
+
+
+def run_table3a(
+    scenario_name: str = "femnist-shufflenet",
+    shares: Sequence[Optional[float]] = (0.1, 0.3, 0.5, None),
+    overcommit: float = 1.3,
+    rounds: Optional[int] = 60,
+    seed: int = 0,
+) -> Dict:
+    """OC split sweep at fixed OC value (None = the C/K default)."""
+    scenario = get_scenario(scenario_name)
+    if rounds is not None:
+        scenario = scenario.with_(rounds=rounds)
+    rows: Dict[str, Dict] = {}
+    for share in shares:
+        label = "C/K (default)" if share is None else f"{share:.0%}"
+        result = run_strategy(
+            scenario,
+            "gluefl",
+            seed=seed,
+            strategy_kwargs={"oc_sticky_share": share},
+            overcommit=overcommit,
+        )
+        rows[label] = _row(result)
+    return {"scenario": scenario.name, "overcommit": overcommit, "rows": rows}
+
+
+def run_table3b(
+    scenario_name: str = "femnist-shufflenet",
+    oc_values: Sequence[float] = (1.0, 1.1, 1.3, 1.5),
+    share: float = 0.1,
+    rounds: Optional[int] = 60,
+    seed: int = 0,
+) -> Dict:
+    """OC value sweep at the fixed best split (Table 3a row 1)."""
+    scenario = get_scenario(scenario_name)
+    if rounds is not None:
+        scenario = scenario.with_(rounds=rounds)
+    rows: Dict[str, Dict] = {}
+    for oc in oc_values:
+        result = run_strategy(
+            scenario,
+            "gluefl",
+            seed=seed,
+            strategy_kwargs={"oc_sticky_share": share},
+            overcommit=oc,
+        )
+        rows[f"OC={oc:.1f}"] = _row(result)
+    return {"scenario": scenario.name, "share": share, "rows": rows}
+
+
+def format_table3(result: Dict, title: str) -> str:
+    lines = [title, "-" * len(title)]
+    lines.append(
+        f"{'setting':<16} {'DV (GB)':>10} {'TV (GB)':>10} "
+        f"{'DT (h)':>9} {'TT (h)':>9}"
+    )
+    for label, row in result["rows"].items():
+        lines.append(
+            f"{label:<16} {row['dv_gb']:>10.4f} {row['tv_gb']:>10.4f} "
+            f"{row['dt_hours']:>9.4f} {row['tt_hours']:>9.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Federated-learning simulation engine."""
+
+from repro.fl.aggregation import (
+    aggregate_buffer_deltas,
+    equal_weights,
+    fedavg_weights,
+    sticky_weights,
+)
+from repro.fl.client import LocalResult, LocalTrainer
+from repro.fl.config import RunConfig
+from repro.fl.metrics import BandwidthReport, RoundRecord, RunResult
+from repro.fl.samplers import (
+    ClientSampler,
+    SampleDraw,
+    StickySampler,
+    UniformSampler,
+)
+from repro.fl.server import FLServer, run_training
+from repro.fl.simulator import (
+    CandidateTimings,
+    ParticipantSelection,
+    select_participants,
+)
+from repro.fl.staleness import StalenessTracker
+
+__all__ = [
+    "RunConfig",
+    "FLServer",
+    "run_training",
+    "RunResult",
+    "RoundRecord",
+    "BandwidthReport",
+    "ClientSampler",
+    "UniformSampler",
+    "StickySampler",
+    "SampleDraw",
+    "StalenessTracker",
+    "LocalTrainer",
+    "LocalResult",
+    "CandidateTimings",
+    "ParticipantSelection",
+    "select_participants",
+    "fedavg_weights",
+    "sticky_weights",
+    "equal_weights",
+    "aggregate_buffer_deltas",
+]

@@ -1,0 +1,78 @@
+"""Aggregation weights (Eq. 2 / Eq. 3 / Fig. 5) and BN-buffer aggregation.
+
+FedAvg (Eq. 2) re-weights sampled updates by ``(N / K) · p_i``.  Sticky
+sampling over-represents sticky clients, so GlueFL applies inverse-propensity
+weights (Eq. 3): ``ν_s = (S / C) · p_i`` for sticky participants and
+``ν_r = ((N − S) / (K − C)) · p_i`` for the rest — Theorem 1 shows this
+makes the update unbiased.  ``equal_weights`` is the biased ``1/K`` variant
+used as the "GlueFL (Equal)" baseline of Fig. 5.
+
+Batch-norm running statistics bypass all of this: Appendix D aggregates
+their deltas as an unweighted mean over participants.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "fedavg_weights",
+    "sticky_weights",
+    "equal_weights",
+    "aggregate_buffer_deltas",
+]
+
+
+def fedavg_weights(
+    p: np.ndarray, participant_ids: np.ndarray, num_clients: int
+) -> np.ndarray:
+    """Eq. 2 weights ``(N / K) · p_i`` for uniformly-sampled participants."""
+    participant_ids = np.asarray(participant_ids)
+    k = len(participant_ids)
+    if k == 0:
+        return np.empty(0)
+    return (num_clients / k) * p[participant_ids]
+
+
+def sticky_weights(
+    p: np.ndarray,
+    sticky_ids: np.ndarray,
+    nonsticky_ids: np.ndarray,
+    group_size: int,
+    num_clients: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eq. 3 inverse-propensity weights ``(ν_s, ν_r)`` for the two buckets.
+
+    Uses the *actual* participant counts as C and K−C, which keeps the
+    estimate self-normalizing when over-commitment or dropout makes the
+    realized counts differ from the nominal configuration.
+    """
+    sticky_ids = np.asarray(sticky_ids)
+    nonsticky_ids = np.asarray(nonsticky_ids)
+    c = len(sticky_ids)
+    r = len(nonsticky_ids)
+    nu_s = (group_size / c) * p[sticky_ids] if c else np.empty(0)
+    nu_r = (
+        ((num_clients - group_size) / r) * p[nonsticky_ids] if r else np.empty(0)
+    )
+    return nu_s, nu_r
+
+
+def equal_weights(participant_ids: np.ndarray) -> np.ndarray:
+    """Biased ``1/K`` weights (the Fig. 5 "GlueFL (Equal)" ablation)."""
+    k = len(participant_ids)
+    if k == 0:
+        return np.empty(0)
+    return np.full(k, 1.0 / k)
+
+
+def aggregate_buffer_deltas(buffer_deltas: Sequence[np.ndarray]) -> np.ndarray:
+    """Appendix D: unweighted mean of non-trainable (BN statistic) deltas."""
+    if not buffer_deltas:
+        raise ValueError("no buffer deltas to aggregate")
+    acc = np.zeros_like(buffer_deltas[0])
+    for delta in buffer_deltas:
+        acc += delta
+    return acc / len(buffer_deltas)

@@ -1,0 +1,160 @@
+"""Additional client samplers from the paper's related-work section (§6).
+
+These are extensions beyond the paper's core contribution, provided so the
+library covers the sampling landscape GlueFL is positioned against:
+
+* :class:`MDSampler` — multinomial-distribution sampling (Li et al., 2020a):
+  clients drawn *with replacement* proportionally to their importance
+  weights ``p_i``; the unbiased correction is a simple ``1/K`` average.
+* :class:`OortLikeSampler` — a utility-guided sampler in the spirit of
+  Oort (Lai et al., 2021): clients are scored by a blend of statistical
+  utility (recent training loss) and system speed, with an
+  exploration/exploitation split.
+
+Both plug into the same :class:`~repro.fl.samplers.ClientSampler` interface
+as the paper's uniform/sticky samplers; note that the inverse-propensity
+weights of Eq. 3 apply only to sticky sampling — these samplers use their
+own weight conventions, documented per class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.fl.samplers import ClientSampler, SampleDraw
+
+__all__ = ["MDSampler", "OortLikeSampler"]
+
+
+class MDSampler(ClientSampler):
+    """Multinomial-distribution sampling: draw K clients ∝ p_i, with
+    replacement (duplicates collapsed for the simulator; the aggregation
+    weight convention for MD sampling is plain 1/K, i.e. ``weight_mode=
+    "equal"`` in :class:`~repro.fl.config.RunConfig`)."""
+
+    def __init__(self, num_to_sample: int, p: Optional[np.ndarray] = None):
+        super().__init__(num_to_sample)
+        self._p = p
+
+    def setup(self, num_clients: int, rng: np.random.Generator) -> None:
+        super().setup(num_clients, rng)
+        if self._p is None:
+            self._p = np.full(num_clients, 1.0 / num_clients)
+        if len(self._p) != num_clients:
+            raise ValueError("p must have one entry per client")
+        self._p = np.asarray(self._p, dtype=np.float64)
+        self._p = self._p / self._p.sum()
+
+    def draw(
+        self, round_idx: int, available: np.ndarray, overcommit: float = 1.0
+    ) -> SampleDraw:
+        pool = np.flatnonzero(available)
+        if len(pool) == 0:
+            raise RuntimeError(f"no clients available in round {round_idx}")
+        probs = self._p[pool]
+        probs = probs / probs.sum()
+        want = min(self.k + self._extras(overcommit, self.k), len(pool))
+        drawn = self._rng.choice(pool, size=want, replace=True, p=probs)
+        unique = np.unique(drawn)
+        return SampleDraw(
+            sticky=np.empty(0, dtype=np.int64),
+            nonsticky=unique.astype(np.int64),
+            quota_sticky=0,
+            quota_nonsticky=min(self.k, len(unique)),
+        )
+
+
+class OortLikeSampler(ClientSampler):
+    """Utility-guided sampling in the spirit of Oort.
+
+    Each client carries a utility score ``loss_utility × speed_utility``:
+
+    * statistical utility = the client's most recent mean training loss
+      (high loss ⇒ more to learn from), defaulting to a high prior so
+      unexplored clients get tried;
+    * system utility = ``(deadline / round_time)^α`` penalizing slow
+      clients, fed back by the server via :meth:`observe_speed`.
+
+    Per round, ``1 − exploration`` of the K slots go to the highest-utility
+    known clients and the rest to unexplored ones.  Like MD sampling this
+    is *biased* by design; pair it with ``weight_mode="equal"``.
+    """
+
+    def __init__(
+        self,
+        num_to_sample: int,
+        exploration: float = 0.2,
+        speed_alpha: float = 1.0,
+        deadline_seconds: float = 1.0,
+    ):
+        super().__init__(num_to_sample)
+        if not 0.0 <= exploration <= 1.0:
+            raise ValueError("exploration must be in [0, 1]")
+        self.exploration = exploration
+        self.speed_alpha = speed_alpha
+        self.deadline_seconds = deadline_seconds
+        self._loss: Dict[int, float] = {}
+        self._speed: Dict[int, float] = {}
+
+    # -- feedback hooks ------------------------------------------------------
+    def observe_loss(self, client_id: int, mean_loss: float) -> None:
+        self._loss[int(client_id)] = float(mean_loss)
+
+    def observe_speed(self, client_id: int, round_seconds: float) -> None:
+        self._speed[int(client_id)] = float(round_seconds)
+
+    def utility(self, client_id: int) -> float:
+        stat = self._loss.get(int(client_id), 10.0)  # optimistic prior
+        seconds = self._speed.get(int(client_id))
+        if seconds is None or seconds <= 0:
+            system = 1.0
+        else:
+            system = min(1.0, (self.deadline_seconds / seconds)) ** self.speed_alpha
+        return stat * system
+
+    # -- sampling --------------------------------------------------------------
+    def draw(
+        self, round_idx: int, available: np.ndarray, overcommit: float = 1.0
+    ) -> SampleDraw:
+        pool = np.flatnonzero(available)
+        if len(pool) == 0:
+            raise RuntimeError(f"no clients available in round {round_idx}")
+        want = min(self.k + self._extras(overcommit, self.k), len(pool))
+        explored = np.array([c for c in pool if c in self._loss], dtype=np.int64)
+        fresh = np.array([c for c in pool if c not in self._loss], dtype=np.int64)
+
+        n_explore = min(int(round(self.exploration * want)), len(fresh))
+        n_exploit = min(want - n_explore, len(explored))
+        chosen = []
+        if n_exploit > 0:
+            utilities = np.array([self.utility(c) for c in explored])
+            order = np.argsort(utilities)[::-1]
+            chosen.append(explored[order[:n_exploit]])
+        remaining = want - n_exploit
+        if remaining > 0 and len(fresh):
+            take = min(remaining, len(fresh))
+            chosen.append(self._rng.choice(fresh, size=take, replace=False))
+        elif remaining > 0 and len(explored) > n_exploit:
+            # no fresh clients left: backfill with the next-best explored
+            utilities = np.array([self.utility(c) for c in explored])
+            order = np.argsort(utilities)[::-1]
+            extra = explored[order[n_exploit : n_exploit + remaining]]
+            chosen.append(extra)
+        candidates = (
+            np.concatenate(chosen) if chosen else np.empty(0, dtype=np.int64)
+        )
+        return SampleDraw(
+            sticky=np.empty(0, dtype=np.int64),
+            nonsticky=candidates.astype(np.int64),
+            quota_sticky=0,
+            quota_nonsticky=min(self.k, len(candidates)),
+        )
+
+    def complete_round(
+        self, sticky_used: np.ndarray, nonsticky_used: np.ndarray
+    ) -> None:
+        # participation itself is recorded through observe_* feedback;
+        # nothing structural to rebalance
+        return None

@@ -1,0 +1,211 @@
+"""Client sampling: uniform (FedAvg) and sticky (GlueFL Algorithm 2).
+
+A sampler produces a :class:`SampleDraw` per round: *candidate* client ids
+(over-committed, §5.6) split into a sticky and a non-sticky bucket with
+participation quotas.  The simulator picks the fastest candidates within
+each bucket; after the round, :meth:`ClientSampler.complete_round` lets the
+sticky sampler rebalance its group (Alg. 2 lines 20–21).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SampleDraw", "ClientSampler", "UniformSampler", "StickySampler"]
+
+
+@dataclass
+class SampleDraw:
+    """One round's candidate sets and quotas.
+
+    ``sticky``/``nonsticky`` are candidate ids (already over-committed);
+    the quotas say how many from each bucket actually aggregate.
+    """
+
+    sticky: np.ndarray
+    nonsticky: np.ndarray
+    quota_sticky: int
+    quota_nonsticky: int
+
+    @property
+    def candidates(self) -> np.ndarray:
+        return np.concatenate([self.sticky, self.nonsticky])
+
+    @property
+    def quota_total(self) -> int:
+        return self.quota_sticky + self.quota_nonsticky
+
+
+class ClientSampler:
+    """Base sampler interface."""
+
+    def __init__(self, num_to_sample: int):
+        if num_to_sample <= 0:
+            raise ValueError("num_to_sample must be positive")
+        self.k = num_to_sample
+        self.num_clients = 0
+
+    def setup(self, num_clients: int, rng: np.random.Generator) -> None:
+        if num_clients < self.k:
+            raise ValueError(
+                f"cannot sample {self.k} of {num_clients} clients"
+            )
+        self.num_clients = num_clients
+        self._rng = rng
+
+    def draw(
+        self, round_idx: int, available: np.ndarray, overcommit: float = 1.0
+    ) -> SampleDraw:
+        raise NotImplementedError
+
+    def complete_round(
+        self, sticky_used: np.ndarray, nonsticky_used: np.ndarray
+    ) -> None:
+        """Notify the sampler which candidates actually participated."""
+
+    @staticmethod
+    def _extras(overcommit: float, k: int) -> int:
+        if overcommit < 1.0:
+            raise ValueError(f"overcommit must be >= 1.0, got {overcommit}")
+        # round at 1e-9 first so 0.3 * 10 == 3.0000000000000004 ceils to 3
+        return math.ceil(round((overcommit - 1.0) * k, 9))
+
+
+class UniformSampler(ClientSampler):
+    """FedAvg's uniform sampling without replacement."""
+
+    def draw(
+        self, round_idx: int, available: np.ndarray, overcommit: float = 1.0
+    ) -> SampleDraw:
+        pool = np.flatnonzero(available)
+        want = min(self.k + self._extras(overcommit, self.k), len(pool))
+        if want == 0:
+            raise RuntimeError(f"no clients available in round {round_idx}")
+        chosen = self._rng.choice(pool, size=want, replace=False)
+        return SampleDraw(
+            sticky=np.empty(0, dtype=np.int64),
+            nonsticky=chosen.astype(np.int64),
+            quota_sticky=0,
+            quota_nonsticky=min(self.k, want),
+        )
+
+
+class StickySampler(ClientSampler):
+    """GlueFL sticky sampling (Algorithm 2).
+
+    Parameters
+    ----------
+    num_to_sample:
+        K — total clients aggregated per round.
+    group_size:
+        S — sticky-group size (paper default ``4K``).
+    sticky_count:
+        C — how many of the K come from the sticky group (paper ``4K/5``).
+    oc_sticky_share:
+        Fraction of over-commitment extras drawn from the sticky group;
+        ``None`` uses the paper's default of ``C/K`` (§5.6 evaluates 10%,
+        30%, 50% alternatives in Table 3a).
+    """
+
+    def __init__(
+        self,
+        num_to_sample: int,
+        group_size: int,
+        sticky_count: int,
+        oc_sticky_share: Optional[float] = None,
+    ):
+        super().__init__(num_to_sample)
+        if not 0 < sticky_count <= num_to_sample:
+            raise ValueError(
+                f"need 0 < C <= K, got C={sticky_count}, K={num_to_sample}"
+            )
+        if group_size < sticky_count:
+            raise ValueError(
+                f"sticky group (S={group_size}) smaller than C={sticky_count}"
+            )
+        if oc_sticky_share is not None and not 0.0 <= oc_sticky_share <= 1.0:
+            raise ValueError("oc_sticky_share must be in [0, 1]")
+        self.group_size = group_size
+        self.sticky_count = sticky_count
+        self.oc_sticky_share = oc_sticky_share
+        self.sticky_group: np.ndarray = np.empty(0, dtype=np.int64)
+
+    def setup(self, num_clients: int, rng: np.random.Generator) -> None:
+        super().setup(num_clients, rng)
+        if num_clients <= self.group_size:
+            raise ValueError(
+                f"sticky group S={self.group_size} must be smaller than "
+                f"the federation (N={num_clients})"
+            )
+        self.sticky_group = rng.choice(
+            num_clients, size=self.group_size, replace=False
+        ).astype(np.int64)
+
+    def draw(
+        self, round_idx: int, available: np.ndarray, overcommit: float = 1.0
+    ) -> SampleDraw:
+        in_sticky = np.zeros(self.num_clients, dtype=bool)
+        in_sticky[self.sticky_group] = True
+        sticky_pool = np.flatnonzero(available & in_sticky)
+        nonsticky_pool = np.flatnonzero(available & ~in_sticky)
+
+        share = (
+            self.oc_sticky_share
+            if self.oc_sticky_share is not None
+            else self.sticky_count / self.k
+        )
+        extras = self._extras(overcommit, self.k)
+        extra_sticky = int(round(extras * share))
+        extra_non = extras - extra_sticky
+
+        want_sticky = min(self.sticky_count + extra_sticky, len(sticky_pool))
+        quota_sticky = min(self.sticky_count, want_sticky)
+        # if the sticky pool falls short, refill the round from non-sticky
+        want_non = min(
+            self.k - quota_sticky + extra_non, len(nonsticky_pool)
+        )
+        sticky = self._rng.choice(sticky_pool, size=want_sticky, replace=False)
+        nonsticky = self._rng.choice(nonsticky_pool, size=want_non, replace=False)
+        quota_non = min(self.k - quota_sticky, want_non)
+        return SampleDraw(
+            sticky=sticky.astype(np.int64),
+            nonsticky=nonsticky.astype(np.int64),
+            quota_sticky=quota_sticky,
+            quota_nonsticky=quota_non,
+        )
+
+    def complete_round(
+        self, sticky_used: np.ndarray, nonsticky_used: np.ndarray
+    ) -> None:
+        """Rebalance: swap |R| sticky non-participants for the new R clients.
+
+        Implements Alg. 2 lines 20–21: remove ``|R|`` random clients from
+        ``S \\ C`` and admit the non-sticky participants, keeping ``|S|``
+        constant.
+        """
+        newcomers = np.asarray(nonsticky_used, dtype=np.int64)
+        if len(newcomers) == 0:
+            return
+        participated = set(np.asarray(sticky_used).tolist())
+        removable = np.array(
+            [c for c in self.sticky_group if c not in participated],
+            dtype=np.int64,
+        )
+        n_swap = min(len(newcomers), len(removable))
+        to_remove = set(
+            self._rng.choice(removable, size=n_swap, replace=False).tolist()
+        )
+        kept = np.array(
+            [c for c in self.sticky_group if c not in to_remove], dtype=np.int64
+        )
+        self.sticky_group = np.concatenate([kept, newcomers[:n_swap]])
+
+    def is_sticky(self, client_ids: np.ndarray) -> np.ndarray:
+        """Boolean: which of ``client_ids`` are currently in the sticky group."""
+        membership = np.zeros(self.num_clients, dtype=bool)
+        membership[self.sticky_group] = True
+        return membership[np.asarray(client_ids)]

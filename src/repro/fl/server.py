@@ -1,0 +1,320 @@
+"""The FL server: Algorithm 1/2/3's round loop with full systems accounting.
+
+One :class:`FLServer` instance owns the global model, the strategy, the
+sampler, and all substrate models (bandwidth, compute, availability,
+staleness).  Each round:
+
+1.  the sampler draws over-committed candidates (sticky + non-sticky);
+2.  every contacted candidate downloads its stale coordinates plus the
+    strategy's mask overhead (downstream accounting) and is marked synced;
+3.  the timing simulator keeps the first-K finishers per bucket;
+4.  participants run local SGD and compress their deltas (upstream
+    accounting);
+5.  the strategy aggregates with inverse-propensity (or equal) weights,
+    the global model moves, BN buffers are averaged (Appendix D), the
+    staleness ledger records the changed coordinates;
+6.  the sampler rebalances its sticky group and the strategy shifts its
+    masks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.compression.base import ClientPayload
+from repro.fl.aggregation import (
+    aggregate_buffer_deltas,
+    equal_weights,
+    fedavg_weights,
+    sticky_weights,
+)
+from repro.fl.client import LocalTrainer
+from repro.fl.config import RunConfig
+from repro.fl.metrics import RoundRecord, RunResult
+from repro.fl.samplers import SampleDraw, StickySampler
+from repro.fl.simulator import CandidateTimings, select_participants
+from repro.fl.staleness import StalenessTracker
+from repro.network.encoding import dense_bytes
+from repro.network.profiles import get_profile
+from repro.network.transfer import ClientLinks
+from repro.nn.flat import FlatParamView
+from repro.nn.models import build_model
+from repro.traces.availability import AvailabilityTrace, always_available
+from repro.traces.compute import ComputeTrace
+from repro.utils.logging import RunLogger
+from repro.utils.rng import RngFactory
+
+__all__ = ["FLServer", "run_training"]
+
+
+class FLServer:
+    """Owns the global model and executes the training rounds."""
+
+    def __init__(self, config: RunConfig):
+        config.validate()
+        self.config = config
+        self.rngs = RngFactory(config.seed)
+        dataset = config.dataset
+        self.n = dataset.num_clients
+        self.p = dataset.weights()
+
+        self.model = build_model(
+            config.model_name,
+            in_channels=dataset.in_channels,
+            num_classes=dataset.num_classes,
+            image_size=dataset.image_size,
+            rng=self.rngs("model-init"),
+            **config.model_kwargs,
+        )
+        self.view = FlatParamView(self.model)
+        self.d = self.view.num_trainable
+        self.global_params = self.view.get_flat()
+        self.global_buffers = self.view.get_buffers_flat()
+
+        self.strategy = config.strategy
+        self.strategy.setup(self.d, self.rngs("strategy"))
+        self.sampler = config.sampler
+        self.sampler.setup(self.n, self.rngs("sampler"))
+
+        profile = get_profile(config.network_profile)
+        self.links = ClientLinks(profile.sample(self.n, self.rngs("bandwidth")))
+        self.compute = ComputeTrace(
+            self.n,
+            self.rngs("compute"),
+            base_step_seconds=config.base_step_seconds,
+            sigma=config.compute_sigma,
+        )
+        self.model_scale = ComputeTrace.model_scale(self.d)
+        if config.availability_trace is not None:
+            self.availability = config.availability_trace
+        elif config.always_available:
+            self.availability = always_available(self.n)
+        else:
+            self.availability = AvailabilityTrace(
+                self.n,
+                self.rngs("availability"),
+                mean_on_fraction=config.mean_on_fraction,
+                dropout_prob=config.dropout_prob,
+            )
+        self.staleness = StalenessTracker(self.d, self.n)
+        self.trainer = LocalTrainer(
+            self.model,
+            local_steps=config.local_steps,
+            batch_size=config.batch_size,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        self.lr_schedule = config.lr_schedule()
+        self.logger = RunLogger(echo=config.log_echo)
+        self.round_idx = 0
+
+    # -- weights ---------------------------------------------------------------
+    def _weights_for(
+        self, sticky_ids: np.ndarray, nonsticky_ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Aggregation weights ν for the two participant buckets."""
+        if self.config.weight_mode == "equal":
+            all_ids = np.concatenate([sticky_ids, nonsticky_ids])
+            w = equal_weights(all_ids)
+            return w[: len(sticky_ids)], w[len(sticky_ids) :]
+        if isinstance(self.sampler, StickySampler) and len(sticky_ids):
+            return sticky_weights(
+                self.p,
+                sticky_ids,
+                nonsticky_ids,
+                group_size=self.sampler.group_size,
+                num_clients=self.n,
+            )
+        # uniform sampling: Eq. 2
+        return (
+            np.empty(0),
+            fedavg_weights(self.p, nonsticky_ids, self.n),
+        )
+
+    # -- evaluation ---------------------------------------------------------------
+    def evaluate(self) -> float:
+        """Top-k accuracy of the current global model on the test set."""
+        cfg = self.config
+        dataset = cfg.dataset
+        self.view.set_flat(self.global_params)
+        if self.view.num_buffer:
+            self.view.set_buffers_flat(self.global_buffers)
+        self.model.eval()
+        correct = 0
+        total = len(dataset.test_y)
+        for start in range(0, total, cfg.eval_batch):
+            xb = dataset.test_x[start : start + cfg.eval_batch]
+            yb = dataset.test_y[start : start + cfg.eval_batch]
+            logits = self.model(xb)
+            if cfg.eval_top_k == 1:
+                correct += int((logits.argmax(axis=1) == yb).sum())
+            else:
+                top = np.argsort(logits, axis=1)[:, -cfg.eval_top_k :]
+                correct += int((top == yb[:, None]).any(axis=1).sum())
+        self.model.train()
+        return correct / total
+
+    # -- one round ------------------------------------------------------------------
+    def run_round(self) -> RoundRecord:
+        cfg = self.config
+        self.round_idx += 1
+        t = self.round_idx
+        self.strategy.begin_round(t)
+
+        available = self.availability.online(t)
+        draw: SampleDraw = self.sampler.draw(t, available, cfg.overcommit)
+        candidates = draw.candidates
+
+        # --- downstream: stale-coordinate sync + strategy mask overhead ---
+        sync_bytes = self.staleness.download_bytes_many(candidates)
+        extra = self.strategy.downstream_extra_bytes()
+        if cfg.count_buffer_sync and self.view.num_buffer:
+            extra += dense_bytes(self.view.num_buffer)
+        down_per_client = sync_bytes + extra
+        down_bytes_total = int(down_per_client.sum())
+        mean_stale = self.staleness.mean_staleness_fraction(candidates)
+        sync_details = None
+        if cfg.collect_sync_details:
+            # one model update is applied per round, so version == round gap
+            sync_details = [
+                (
+                    int(cid),
+                    int(self.staleness.version - self.staleness.last_sync[cid])
+                    if self.staleness.last_sync[cid] >= 0
+                    else -1,
+                    int(nbytes),
+                )
+                for cid, nbytes in zip(candidates, sync_bytes)
+            ]
+        self.staleness.mark_synced(candidates)
+
+        # --- timing: download + compute + upload estimate per candidate ---
+        up_nominal = self.strategy.nominal_upstream_bytes()
+        if cfg.count_buffer_sync and self.view.num_buffer:
+            up_nominal += dense_bytes(self.view.num_buffer)
+
+        def timings_for(ids: np.ndarray, down: np.ndarray) -> CandidateTimings:
+            return CandidateTimings(
+                client_ids=ids,
+                download_s=self.links.download_seconds_many(ids, down),
+                compute_s=self.compute.round_seconds_many(
+                    ids, cfg.local_steps, self.model_scale
+                ),
+                upload_s=self.links.upload_seconds_many(
+                    ids, np.full(len(ids), up_nominal)
+                ),
+            )
+
+        n_sticky = len(draw.sticky)
+        sticky_t = timings_for(draw.sticky, down_per_client[:n_sticky])
+        nonsticky_t = timings_for(draw.nonsticky, down_per_client[n_sticky:])
+        selection = select_participants(
+            sticky_t,
+            nonsticky_t,
+            draw.quota_sticky,
+            draw.quota_nonsticky,
+            self.availability.survives_round(draw.sticky),
+            self.availability.survives_round(draw.nonsticky),
+        )
+
+        # --- local training + compression ---
+        nu_s, nu_r = self._weights_for(selection.sticky_ids, selection.nonsticky_ids)
+        lr = self.lr_schedule.at_round(t - 1)
+        payloads: List[Tuple[int, float, ClientPayload]] = []
+        buffer_deltas = []
+        up_bytes_total = 0
+        losses = []
+        for ids, weights in (
+            (selection.sticky_ids, nu_s),
+            (selection.nonsticky_ids, nu_r),
+        ):
+            for cid, weight in zip(ids, weights):
+                result = self.trainer.run(
+                    self.global_params,
+                    self.global_buffers,
+                    cfg.dataset.clients[cid],
+                    lr,
+                    self.rngs(f"client/{cid}/round/{t}"),
+                )
+                payload = self.strategy.client_compress(
+                    int(cid), result.delta, float(weight)
+                )
+                payloads.append((int(cid), float(weight), payload))
+                buffer_deltas.append(result.buffer_delta)
+                up_bytes_total += payload.upstream_bytes
+                losses.append(result.mean_loss)
+        if cfg.count_buffer_sync and self.view.num_buffer:
+            up_bytes_total += dense_bytes(self.view.num_buffer) * len(payloads)
+
+        if not payloads:
+            raise RuntimeError(f"round {t}: no participants survived")
+
+        # --- aggregation + model update ---
+        agg = self.strategy.aggregate(payloads)
+        self.global_params = self.global_params + agg.global_delta
+        if self.view.num_buffer and buffer_deltas:
+            self.global_buffers = self.global_buffers + aggregate_buffer_deltas(
+                buffer_deltas
+            )
+        self.staleness.record_update(agg.changed_idx)
+        self.sampler.complete_round(selection.sticky_ids, selection.nonsticky_ids)
+        self.strategy.end_round(agg, t)
+
+        # --- measurement ---
+        accuracy = None
+        if t % cfg.eval_every == 0 or t == cfg.rounds:
+            accuracy = self.evaluate()
+            self.logger.log(
+                "eval", round=t, accuracy=round(accuracy, 4),
+                down_gb=round(down_bytes_total / 1e9, 4),
+            )
+        return RoundRecord(
+            round_idx=t,
+            down_bytes=down_bytes_total,
+            up_bytes=up_bytes_total,
+            round_seconds=selection.round_seconds,
+            download_seconds=selection.download_seconds,
+            compute_seconds=selection.compute_seconds,
+            upload_seconds=selection.upload_seconds,
+            num_candidates=len(candidates),
+            num_participants=selection.count,
+            mean_stale_fraction=mean_stale,
+            train_loss=float(np.mean(losses)),
+            accuracy=accuracy,
+            sync_details=sync_details,
+        )
+
+    # -- full run -----------------------------------------------------------------------
+    def run(self) -> RunResult:
+        cfg = self.config
+        result = RunResult(
+            meta={
+                "strategy": self.strategy.name,
+                "model": cfg.model_name,
+                "dataset": cfg.dataset.name,
+                "d": self.d,
+                "n": self.n,
+                "k": self.sampler.k,
+                "rounds": cfg.rounds,
+                "seed": cfg.seed,
+            }
+        )
+        for _ in range(cfg.rounds):
+            result.append(self.run_round())
+            if (
+                cfg.stop_at_target
+                and cfg.target_accuracy is not None
+                and result.rounds_to_target(
+                    cfg.target_accuracy, cfg.accuracy_window
+                )
+                is not None
+            ):
+                break
+        return result
+
+
+def run_training(config: RunConfig) -> RunResult:
+    """Build a server from ``config`` and run it to completion."""
+    return FLServer(config).run()

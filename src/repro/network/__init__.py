@@ -1,0 +1,38 @@
+"""Bandwidth substrate: link distributions, byte costs, transfer times."""
+
+from repro.network.bandwidth import (
+    BandwidthSample,
+    datacenter_bandwidth,
+    five_g_bandwidth,
+    ndt_like_bandwidth,
+)
+from repro.network.encoding import (
+    BYTES_PER_VALUE,
+    bitmap_bytes,
+    dense_bytes,
+    golomb_position_bytes,
+    index_bytes,
+    sparse_bytes,
+    values_bytes,
+)
+from repro.network.profiles import NETWORK_PROFILES, NetworkProfile, get_profile
+from repro.network.transfer import ClientLinks, transfer_seconds
+
+__all__ = [
+    "BandwidthSample",
+    "ndt_like_bandwidth",
+    "five_g_bandwidth",
+    "datacenter_bandwidth",
+    "BYTES_PER_VALUE",
+    "dense_bytes",
+    "bitmap_bytes",
+    "index_bytes",
+    "values_bytes",
+    "sparse_bytes",
+    "golomb_position_bytes",
+    "NetworkProfile",
+    "NETWORK_PROFILES",
+    "get_profile",
+    "ClientLinks",
+    "transfer_seconds",
+]

@@ -1,0 +1,89 @@
+"""Client bandwidth distributions.
+
+Stand-ins for the paper's three network environments:
+
+* **NDT-like** (Fig. 1, M-Lab NDT, North America June 2022): heavy-tailed
+  consumer links.  The paper quotes "around 20% of devices have a download
+  bandwidth of at most 10 Mbps"; we calibrate a log-normal to hit that
+  quantile with a realistic median, and give uploads a correlated
+  sub-unity ratio (uploads are slower than downloads on consumer links —
+  §5.4 says FedAvg clients spend ~70% more time uploading).
+* **5G** (Narayanan et al. 2021): hundreds of Mbps down, tens up.
+* **Datacenter** (Mok et al. 2021): multi-Gbps symmetric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "BandwidthSample",
+    "ndt_like_bandwidth",
+    "five_g_bandwidth",
+    "datacenter_bandwidth",
+]
+
+
+@dataclass
+class BandwidthSample:
+    """Per-client link rates in Mbps."""
+
+    down_mbps: np.ndarray
+    up_mbps: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.down_mbps.shape != self.up_mbps.shape:
+            raise ValueError("down/up shape mismatch")
+        if (self.down_mbps <= 0).any() or (self.up_mbps <= 0).any():
+            raise ValueError("bandwidths must be positive")
+
+    @property
+    def n(self) -> int:
+        return len(self.down_mbps)
+
+    def fraction_below(self, mbps: float, direction: str = "down") -> float:
+        arr = self.down_mbps if direction == "down" else self.up_mbps
+        return float((arr <= mbps).mean())
+
+
+# NDT-like calibration: median 40 Mbps down and P(down <= 10) ≈ 0.20
+# ⇒ sigma = ln(40/10) / z_{0.80} = ln(4) / 0.8416.
+_NDT_DOWN_MEDIAN = 40.0
+_NDT_DOWN_SIGMA = float(np.log(4.0) / 0.8416)
+_NDT_RATIO_MEDIAN = 0.45  # upload/download ratio
+_NDT_RATIO_SIGMA = 0.7
+
+
+def ndt_like_bandwidth(n: int, rng: np.random.Generator) -> BandwidthSample:
+    """Sample consumer-grade link rates (the paper's end-user environment)."""
+    down = _NDT_DOWN_MEDIAN * np.exp(
+        _NDT_DOWN_SIGMA * rng.standard_normal(n)
+    )
+    ratio = _NDT_RATIO_MEDIAN * np.exp(
+        _NDT_RATIO_SIGMA * rng.standard_normal(n)
+    )
+    up = down * np.clip(ratio, 0.02, 1.2)
+    return BandwidthSample(
+        down_mbps=np.clip(down, 0.5, 3000.0), up_mbps=np.clip(up, 0.1, 2000.0)
+    )
+
+
+def five_g_bandwidth(n: int, rng: np.random.Generator) -> BandwidthSample:
+    """Sample commercial-5G link rates (hundreds of Mbps down)."""
+    down = 600.0 * np.exp(0.5 * rng.standard_normal(n))
+    up = 60.0 * np.exp(0.5 * rng.standard_normal(n))
+    return BandwidthSample(
+        down_mbps=np.clip(down, 50.0, 4000.0), up_mbps=np.clip(up, 5.0, 500.0)
+    )
+
+
+def datacenter_bandwidth(n: int, rng: np.random.Generator) -> BandwidthSample:
+    """Sample intra-datacenter link rates (multi-Gbps, near symmetric)."""
+    down = 8000.0 * np.exp(0.2 * rng.standard_normal(n))
+    up = 7000.0 * np.exp(0.2 * rng.standard_normal(n))
+    return BandwidthSample(
+        down_mbps=np.clip(down, 1000.0, 32000.0),
+        up_mbps=np.clip(up, 1000.0, 32000.0),
+    )

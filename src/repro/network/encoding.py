@@ -1,0 +1,99 @@
+"""Byte-cost model for model-update payloads.
+
+The paper's bandwidth numbers count the wire size of dense and sparse
+tensors.  A sparse payload needs *values* plus *addressing*; addressing can
+be a position bitmap (``d/8`` bytes, good for dense-ish masks) or explicit
+indices (``bytes_per_index · k``, good for very sparse masks).  STC uses
+Golomb coding for positions, which we estimate with the binary-entropy
+bound.  All strategies here use :func:`sparse_bytes`, which picks the
+cheapest representation — the same choice a real implementation makes.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "BYTES_PER_VALUE",
+    "dense_bytes",
+    "bitmap_bytes",
+    "index_bytes",
+    "values_bytes",
+    "sparse_bytes",
+    "golomb_position_bytes",
+]
+
+#: Wire size of one parameter value (float32 on the wire, as in the paper's
+#: systems; the simulator trains in float64 but transmits float32).
+BYTES_PER_VALUE = 4
+
+
+def dense_bytes(d: int) -> int:
+    """Wire size of a dense length-``d`` tensor."""
+    return BYTES_PER_VALUE * d
+
+
+def bitmap_bytes(d: int) -> int:
+    """Wire size of a position bitmap over ``d`` coordinates."""
+    return math.ceil(d / 8)
+
+
+def _bytes_per_index(d: int) -> int:
+    """Smallest whole-byte integer width that can address ``d`` positions."""
+    if d <= 1:
+        return 1
+    return math.ceil(math.log2(d) / 8)
+
+
+def index_bytes(k: int, d: int) -> int:
+    """Wire size of ``k`` explicit position indices in ``[0, d)``."""
+    return k * _bytes_per_index(d)
+
+
+def values_bytes(k: int) -> int:
+    """Wire size of ``k`` parameter values (no addressing)."""
+    return BYTES_PER_VALUE * k
+
+
+def sparse_bytes(k: int, d: int, scheme: str = "auto") -> int:
+    """Wire size of a k-sparse update over ``d`` coordinates.
+
+    Parameters
+    ----------
+    scheme:
+        Position-addressing scheme: ``"auto"`` (default) picks the cheaper
+        of bitmap/index — what a practical sender does; ``"bitmap"``,
+        ``"index"``, and ``"golomb"`` force a specific scheme (the last
+        uses the entropy-bound estimate of STC's Golomb coding).  All
+        schemes fall back to dense when sparsity stops paying off.
+    """
+    if k < 0 or d < 0 or k > d:
+        raise ValueError(f"invalid sparse payload: k={k}, d={d}")
+    if k == 0:
+        return 0
+    if scheme == "auto":
+        addressing = min(bitmap_bytes(d), index_bytes(k, d))
+    elif scheme == "bitmap":
+        addressing = bitmap_bytes(d)
+    elif scheme == "index":
+        addressing = index_bytes(k, d)
+    elif scheme == "golomb":
+        addressing = golomb_position_bytes(k, d)
+    else:
+        raise ValueError(f"unknown addressing scheme {scheme!r}")
+    return min(values_bytes(k) + addressing, dense_bytes(d))
+
+
+def golomb_position_bytes(k: int, d: int) -> int:
+    """Entropy-bound estimate of Golomb-coded positions (STC §IV).
+
+    For sparsity ``p = k/d``, optimal Golomb coding of the position set
+    approaches the binary entropy ``d · H(p)`` bits.  Returns whole bytes.
+    """
+    if k < 0 or d <= 0 or k > d:
+        raise ValueError(f"invalid sparse payload: k={k}, d={d}")
+    if k == 0 or k == d:
+        return 0
+    p = k / d
+    entropy = -(p * math.log2(p) + (1 - p) * math.log2(1 - p))
+    return math.ceil(d * entropy / 8)

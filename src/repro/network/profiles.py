@@ -1,0 +1,73 @@
+"""Named network environment profiles (Fig. 9's three columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.network.bandwidth import (
+    BandwidthSample,
+    datacenter_bandwidth,
+    five_g_bandwidth,
+    ndt_like_bandwidth,
+)
+from repro.utils.registry import Registry
+
+__all__ = ["NetworkProfile", "NETWORK_PROFILES", "get_profile"]
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """A named bandwidth environment.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"ndt"``, ``"5g"``, ``"datacenter"``).
+    description:
+        Human-readable provenance (which measurement study it mimics).
+    sampler:
+        ``(n, rng) -> BandwidthSample`` drawing per-client link rates.
+    """
+
+    name: str
+    description: str
+    sampler: Callable[[int, np.random.Generator], BandwidthSample]
+
+    def sample(self, n: int, rng: np.random.Generator) -> BandwidthSample:
+        return self.sampler(n, rng)
+
+
+NETWORK_PROFILES: Registry[NetworkProfile] = Registry("network profile")
+
+NETWORK_PROFILES.add(
+    "ndt",
+    NetworkProfile(
+        name="ndt",
+        description="End-user devices, M-Lab NDT-like (paper Fig. 1 / Fig. 9a)",
+        sampler=ndt_like_bandwidth,
+    ),
+)
+NETWORK_PROFILES.add(
+    "5g",
+    NetworkProfile(
+        name="5g",
+        description="Commercial 5G (Narayanan et al. 2021, Fig. 9b)",
+        sampler=five_g_bandwidth,
+    ),
+)
+NETWORK_PROFILES.add(
+    "datacenter",
+    NetworkProfile(
+        name="datacenter",
+        description="Google-Cloud-like datacenter network (Mok et al. 2021, Fig. 9c)",
+        sampler=datacenter_bandwidth,
+    ),
+)
+
+
+def get_profile(name: str) -> NetworkProfile:
+    """Look up a registered profile by name."""
+    return NETWORK_PROFILES.get(name)

@@ -1,0 +1,51 @@
+"""Transfer-time arithmetic: bytes ÷ link rate → seconds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.bandwidth import BandwidthSample
+
+__all__ = ["transfer_seconds", "ClientLinks"]
+
+
+def transfer_seconds(num_bytes: float, mbps: float) -> float:
+    """Seconds to move ``num_bytes`` over a ``mbps`` link (no protocol overhead)."""
+    if mbps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {mbps}")
+    return float(num_bytes) * 8.0 / (mbps * 1e6)
+
+
+@dataclass
+class ClientLinks:
+    """Per-client link table for a federation of ``n`` clients."""
+
+    bandwidth: BandwidthSample
+
+    def download_seconds(self, client_id: int, num_bytes: float) -> float:
+        return transfer_seconds(num_bytes, self.bandwidth.down_mbps[client_id])
+
+    def upload_seconds(self, client_id: int, num_bytes: float) -> float:
+        return transfer_seconds(num_bytes, self.bandwidth.up_mbps[client_id])
+
+    def download_seconds_many(
+        self, client_ids: np.ndarray, num_bytes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized download times for several clients at once."""
+        return (
+            np.asarray(num_bytes, dtype=np.float64)
+            * 8.0
+            / (self.bandwidth.down_mbps[client_ids] * 1e6)
+        )
+
+    def upload_seconds_many(
+        self, client_ids: np.ndarray, num_bytes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized upload times for several clients at once."""
+        return (
+            np.asarray(num_bytes, dtype=np.float64)
+            * 8.0
+            / (self.bandwidth.up_mbps[client_ids] * 1e6)
+        )

@@ -1,0 +1,118 @@
+"""2-D convolution with group support (covers standard, grouped, depthwise).
+
+The forward/backward pair is implemented with :func:`~repro.nn.functional.im2col`
+views and einsum contractions, so there are no Python loops over batch or
+spatial positions.  Grouped convolution (including depthwise, ``groups ==
+in_channels``) is expressed as a single einsum over a ``(N, G, C/G, kh, kw,
+OH, OW)`` reshape — this is what ShuffleNetLite and MobileNetLite build on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.functional import col2im, conv_out_size, im2col
+from repro.nn.module import Module, Parameter, kaiming_init
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """Grouped 2-D convolution over NCHW inputs.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel widths; both must be divisible by ``groups``.
+    kernel_size:
+        Square kernel side length.
+    stride, padding:
+        Standard convolution hyperparameters (symmetric padding).
+    groups:
+        ``1`` for dense conv, ``in_channels`` for depthwise, anything in
+        between for grouped conv (ShuffleNet-style).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        dtype=np.float64,
+    ):
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"channels ({in_channels}->{out_channels}) not divisible by "
+                f"groups={groups}"
+            )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        cg = in_channels // groups
+        fan_in = cg * kernel_size * kernel_size
+        self.weight = Parameter(
+            kaiming_init(
+                (out_channels, cg, kernel_size, kernel_size), fan_in, rng, dtype
+            )
+        )
+        self.bias = Parameter(np.zeros(out_channels, dtype=dtype)) if bias else None
+        self._cols: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def _grouped_weight(self) -> np.ndarray:
+        """Weight viewed as ``(G, OC/G, C/G, kh, kw)``."""
+        g = self.groups
+        oc, cg, kh, kw = self.weight.data.shape
+        return self.weight.data.reshape(g, oc // g, cg, kh, kw)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expects (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n, c, h, w = x.shape
+        k, s, p, g = self.kernel_size, self.stride, self.padding, self.groups
+        oh = conv_out_size(h, k, s, p)
+        ow = conv_out_size(w, k, s, p)
+        cols = im2col(x, k, k, s, p)  # (N, C, kh, kw, OH, OW)
+        self._cols = cols
+        self._x_shape = (n, c, h, w)
+        gcols = cols.reshape(n, g, c // g, k, k, oh, ow)
+        # out[n, g, o, y, x] = sum_{c,i,j} cols * weight
+        out = np.einsum(
+            "ngcijyx,gocij->ngoyx", gcols, self._grouped_weight(), optimize=True
+        )
+        out = out.reshape(n, self.out_channels, oh, ow)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None, None]
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        k, s, p, g = self.kernel_size, self.stride, self.padding, self.groups
+        oh, ow = grad_out.shape[2], grad_out.shape[3]
+        ggrad = grad_out.reshape(n, g, self.out_channels // g, oh, ow)
+        gcols = self._cols.reshape(n, g, c // g, k, k, oh, ow)
+
+        dw = np.einsum("ngcijyx,ngoyx->gocij", gcols, ggrad, optimize=True)
+        self.weight.grad += dw.reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=(0, 2, 3))
+
+        dcols = np.einsum(
+            "gocij,ngoyx->ngcijyx", self._grouped_weight(), ggrad, optimize=True
+        ).reshape(n, c, k, k, oh, ow)
+        return col2im(dcols, self._x_shape, k, k, s, p)

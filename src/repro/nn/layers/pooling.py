@@ -1,0 +1,105 @@
+"""Spatial pooling layers built on im2col window views."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.functional import col2im, conv_out_size, im2col
+from repro.nn.module import Module
+
+__all__ = ["MaxPool2d", "AvgPool2d", "GlobalAvgPool2d"]
+
+
+class MaxPool2d(Module):
+    """Max pooling over square windows."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k, s, p = self.kernel_size, self.stride, self.padding
+        n, c, h, w = x.shape
+        oh = conv_out_size(h, k, s, p)
+        ow = conv_out_size(w, k, s, p)
+        if p > 0:
+            # pad with -inf so padding never wins the max
+            x_p = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)), constant_values=-np.inf)
+            cols = im2col(x_p, k, k, s, 0)
+        else:
+            cols = im2col(x, k, k, s, 0)
+        flat = cols.reshape(n, c, k * k, oh, ow)
+        argmax = flat.argmax(axis=2)  # (N, C, OH, OW)
+        out = np.take_along_axis(flat, argmax[:, :, None, :, :], axis=2)[:, :, 0]
+        self._cache = (argmax, (n, c, h, w), oh, ow)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        argmax, x_shape, oh, ow = self._cache
+        n, c, h, w = x_shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        dcols = np.zeros((n, c, k * k, oh, ow), dtype=grad_out.dtype)
+        np.put_along_axis(
+            dcols, argmax[:, :, None, :, :], grad_out[:, :, None, :, :], axis=2
+        )
+        dcols = dcols.reshape(n, c, k, k, oh, ow)
+        return col2im(dcols, x_shape, k, k, s, p)
+
+
+class AvgPool2d(Module):
+    """Average pooling over square windows (count includes padding)."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._cache: Optional[Tuple[Tuple[int, int, int, int], int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k, s, p = self.kernel_size, self.stride, self.padding
+        n, c, h, w = x.shape
+        oh = conv_out_size(h, k, s, p)
+        ow = conv_out_size(w, k, s, p)
+        cols = im2col(x, k, k, s, p)
+        out = cols.mean(axis=(2, 3))
+        self._cache = ((n, c, h, w), oh, ow)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, oh, ow = self._cache
+        k, s, p = self.kernel_size, self.stride, self.padding
+        scale = 1.0 / (k * k)
+        dcols = np.broadcast_to(
+            grad_out[:, :, None, None, :, :] * scale,
+            (x_shape[0], x_shape[1], k, k, oh, ow),
+        )
+        return col2im(np.ascontiguousarray(dcols), x_shape, k, k, s, p)
+
+
+class GlobalAvgPool2d(Module):
+    """Mean over all spatial positions: ``(N, C, H, W) → (N, C)``."""
+
+    def __init__(self):
+        super().__init__()
+        self._shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._shape
+        g = grad_out[:, :, None, None] / (h * w)
+        return np.broadcast_to(g, (n, c, h, w)).copy()

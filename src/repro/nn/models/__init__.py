@@ -1,0 +1,18 @@
+"""Model zoo: width-scaled versions of the paper's architectures."""
+
+from repro.nn.models.mlp import MLP
+from repro.nn.models.cnn import SimpleCNN
+from repro.nn.models.shufflenet import ShuffleNetLite
+from repro.nn.models.mobilenet import MobileNetLite
+from repro.nn.models.resnet import ResNetLite
+from repro.nn.models.registry import MODELS, build_model
+
+__all__ = [
+    "MLP",
+    "SimpleCNN",
+    "ShuffleNetLite",
+    "MobileNetLite",
+    "ResNetLite",
+    "MODELS",
+    "build_model",
+]

@@ -1,0 +1,63 @@
+"""A plain small CNN (conv-BN-ReLU stacks), used as a mid-cost model."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.module import Module, Sequential
+
+__all__ = ["SimpleCNN"]
+
+
+class SimpleCNN(Module):
+    """[Conv3×3 → BN → ReLU → MaxPool2]* → GlobalAvgPool → Linear.
+
+    Parameters
+    ----------
+    in_channels:
+        Input image channels.
+    widths:
+        Output channels of each conv stage; each stage halves the spatial
+        resolution via max pooling.
+    num_classes:
+        Output logits count.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        widths: Sequence[int] = (16, 32),
+        num_classes: int = 10,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.num_classes = num_classes
+        layers = []
+        prev = in_channels
+        for width in widths:
+            layers += [
+                Conv2d(prev, width, 3, stride=1, padding=1, bias=False, rng=rng),
+                BatchNorm2d(width),
+                ReLU(),
+                MaxPool2d(2),
+            ]
+            prev = width
+        layers += [GlobalAvgPool2d(), Linear(prev, num_classes, rng=rng)]
+        self.net = Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_out)

@@ -1,0 +1,57 @@
+"""Multi-layer perceptron (fast model for unit tests and quick experiments)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm1d, Flatten, Linear, ReLU
+from repro.nn.module import Module, Sequential
+
+__all__ = ["MLP"]
+
+
+class MLP(Module):
+    """Flatten → [Linear → (BN) → ReLU]* → Linear.
+
+    Parameters
+    ----------
+    in_features:
+        Flattened input width (images are flattened internally).
+    hidden:
+        Hidden layer widths.
+    num_classes:
+        Output logits count.
+    batch_norm:
+        Insert BatchNorm1d after each hidden linear layer — useful to
+        exercise the Appendix D buffer-aggregation path with a cheap model.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int] = (64, 64),
+        num_classes: int = 10,
+        batch_norm: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.num_classes = num_classes
+        layers = [Flatten()]
+        prev = in_features
+        for width in hidden:
+            layers.append(Linear(prev, width, rng=rng))
+            if batch_norm:
+                layers.append(BatchNorm1d(width))
+            layers.append(ReLU())
+            prev = width
+        layers.append(Linear(prev, num_classes, rng=rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_out)

@@ -1,0 +1,102 @@
+"""MobileNetLite — a width-scaled MobileNet V2 (inverted residuals).
+
+Stands in for the paper's MobileNet (Sandler et al., 2018): depthwise
+separable convolutions with linear bottlenecks and residual connections
+where the spatial/channel shapes match.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    ReLU,
+    ResidualAdd,
+)
+from repro.nn.module import Module, Sequential
+
+__all__ = ["MobileNetLite"]
+
+
+def _inverted_residual(
+    in_ch: int,
+    out_ch: int,
+    stride: int,
+    expansion: int,
+    rng: Optional[np.random.Generator],
+) -> Module:
+    """Expand (1×1) → depthwise (3×3) → project (1×1), linear bottleneck."""
+    mid = in_ch * expansion
+    main = Sequential(
+        Conv2d(in_ch, mid, 1, bias=False, rng=rng),
+        BatchNorm2d(mid),
+        ReLU(),
+        Conv2d(mid, mid, 3, stride=stride, padding=1, groups=mid, bias=False, rng=rng),
+        BatchNorm2d(mid),
+        ReLU(),
+        Conv2d(mid, out_ch, 1, bias=False, rng=rng),
+        BatchNorm2d(out_ch),
+    )
+    if stride == 1 and in_ch == out_ch:
+        return ResidualAdd(main)
+    return main
+
+
+class MobileNetLite(Module):
+    """Scaled-down MobileNet V2 for NCHW image classification.
+
+    Parameters
+    ----------
+    block_config:
+        Tuples ``(expansion, out_channels, repeats, first_stride)`` — the
+        MobileNet V2 table format.  Repeats beyond the first use stride 1.
+    head_channels:
+        Width of the final 1×1 conv before pooling.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        num_classes: int = 10,
+        stem_channels: int = 8,
+        block_config: Sequence[Tuple[int, int, int, int]] = (
+            (2, 8, 1, 1),
+            (2, 16, 2, 2),
+            (4, 24, 2, 2),
+        ),
+        head_channels: int = 48,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.num_classes = num_classes
+        layers = [
+            Conv2d(in_channels, stem_channels, 3, stride=2, padding=1, bias=False, rng=rng),
+            BatchNorm2d(stem_channels),
+            ReLU(),
+        ]
+        prev = stem_channels
+        for expansion, out_ch, repeats, stride in block_config:
+            for i in range(repeats):
+                s = stride if i == 0 else 1
+                layers.append(_inverted_residual(prev, out_ch, s, expansion, rng))
+                prev = out_ch
+        layers += [
+            Conv2d(prev, head_channels, 1, bias=False, rng=rng),
+            BatchNorm2d(head_channels),
+            ReLU(),
+            GlobalAvgPool2d(),
+            Linear(head_channels, num_classes, rng=rng),
+        ]
+        self.net = Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_out)

@@ -1,0 +1,91 @@
+"""ResNetLite — basic-block residual network (ResNet-34 style, scaled).
+
+Stands in for the paper's ResNet-34 on Google Speech: stacked 3×3
+basic blocks with BatchNorm and projection shortcuts on downsampling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    ReLU,
+    ResidualAdd,
+)
+from repro.nn.module import Module, Sequential
+
+__all__ = ["ResNetLite"]
+
+
+def _basic_block(
+    in_ch: int, out_ch: int, stride: int, rng: Optional[np.random.Generator]
+) -> Module:
+    """Two 3×3 convs with a residual connection (projection if shape changes)."""
+    main = Sequential(
+        Conv2d(in_ch, out_ch, 3, stride=stride, padding=1, bias=False, rng=rng),
+        BatchNorm2d(out_ch),
+        ReLU(),
+        Conv2d(out_ch, out_ch, 3, padding=1, bias=False, rng=rng),
+        BatchNorm2d(out_ch),
+    )
+    if stride == 1 and in_ch == out_ch:
+        shortcut = None
+    else:
+        shortcut = Sequential(
+            Conv2d(in_ch, out_ch, 1, stride=stride, bias=False, rng=rng),
+            BatchNorm2d(out_ch),
+        )
+    return Sequential(ResidualAdd(main, shortcut), ReLU())
+
+
+class ResNetLite(Module):
+    """Scaled-down basic-block ResNet for NCHW image classification.
+
+    Parameters
+    ----------
+    stage_widths:
+        Channel width of each stage.
+    stage_repeats:
+        Basic-block count per stage.  ``(3, 4, 6, 3)`` recovers the
+        ResNet-34 layout; the default ``(1, 1, 1)`` is the CPU-scale
+        version used in benchmarks.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        num_classes: int = 10,
+        stem_channels: int = 8,
+        stage_widths: Sequence[int] = (8, 16, 32),
+        stage_repeats: Sequence[int] = (1, 1, 1),
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if len(stage_widths) != len(stage_repeats):
+            raise ValueError("stage_widths and stage_repeats length mismatch")
+        self.num_classes = num_classes
+        layers = [
+            Conv2d(in_channels, stem_channels, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(stem_channels),
+            ReLU(),
+        ]
+        prev = stem_channels
+        for stage_idx, (width, repeats) in enumerate(zip(stage_widths, stage_repeats)):
+            for block_idx in range(repeats):
+                stride = 2 if (block_idx == 0 and stage_idx > 0) else 1
+                layers.append(_basic_block(prev, width, stride, rng))
+                prev = width
+        layers += [GlobalAvgPool2d(), Linear(prev, num_classes, rng=rng)]
+        self.net = Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_out)

@@ -1,0 +1,122 @@
+"""ShuffleNetLite — a width-scaled ShuffleNet (group conv + channel shuffle).
+
+Stands in for the paper's ShuffleNet V2 (§5.1).  It keeps the two
+architectural features the masking experiments care about: grouped 1×1
+convolutions with channel shuffle, and BatchNorm layers whose running
+statistics must be aggregated per Appendix D.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    ChannelConcat,
+    ChannelShuffle,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ResidualAdd,
+)
+from repro.nn.module import Module, Sequential
+
+__all__ = ["ShuffleNetLite"]
+
+
+def _shuffle_unit(
+    in_ch: int,
+    out_ch: int,
+    groups: int,
+    stride: int,
+    rng: Optional[np.random.Generator],
+) -> Module:
+    """One ShuffleNet unit (stride 1: residual add; stride 2: concat)."""
+    if stride == 1 and in_ch != out_ch:
+        raise ValueError("stride-1 shuffle unit requires in_ch == out_ch")
+    branch_out = out_ch if stride == 1 else out_ch - in_ch
+    if branch_out <= 0:
+        raise ValueError(
+            f"stride-2 unit needs out_ch > in_ch, got {in_ch}->{out_ch}"
+        )
+    mid = max(out_ch // 4, groups)
+    mid -= mid % groups  # grouped convs need divisibility
+    main = Sequential(
+        Conv2d(in_ch, mid, 1, groups=groups, bias=False, rng=rng),
+        BatchNorm2d(mid),
+        ReLU(),
+        ChannelShuffle(groups),
+        Conv2d(mid, mid, 3, stride=stride, padding=1, groups=mid, bias=False, rng=rng),
+        BatchNorm2d(mid),
+        Conv2d(mid, branch_out, 1, groups=groups, bias=False, rng=rng),
+        BatchNorm2d(branch_out),
+    )
+    if stride == 1:
+        return Sequential(ResidualAdd(main), ReLU())
+    return Sequential(
+        ChannelConcat(AvgPool2d(3, stride=2, padding=1), main), ReLU()
+    )
+
+
+class ShuffleNetLite(Module):
+    """Scaled-down ShuffleNet for NCHW image classification.
+
+    Parameters
+    ----------
+    in_channels:
+        Input image channels.
+    num_classes:
+        Output logits count.
+    groups:
+        Group count of the 1×1 grouped convolutions.
+    stem_channels:
+        Stem conv width; must be divisible by ``groups``.
+    stage_widths:
+        Output channels per stage; each must be divisible by ``4 * groups``
+        (so the bottleneck width stays group-divisible) and strictly
+        increasing (stride-2 units concatenate the shortcut).
+    stage_repeats:
+        Stride-1 unit count appended after each stage's stride-2 unit.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        num_classes: int = 10,
+        groups: int = 2,
+        stem_channels: int = 8,
+        stage_widths: Sequence[int] = (16, 32),
+        stage_repeats: Sequence[int] = (1, 1),
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if len(stage_widths) != len(stage_repeats):
+            raise ValueError("stage_widths and stage_repeats length mismatch")
+        if stem_channels % groups:
+            raise ValueError("stem_channels must be divisible by groups")
+        self.num_classes = num_classes
+        layers = [
+            Conv2d(in_channels, stem_channels, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(stem_channels),
+            ReLU(),
+            MaxPool2d(2),
+        ]
+        prev = stem_channels
+        for width, repeats in zip(stage_widths, stage_repeats):
+            layers.append(_shuffle_unit(prev, width, groups, stride=2, rng=rng))
+            for _ in range(repeats):
+                layers.append(_shuffle_unit(width, width, groups, stride=1, rng=rng))
+            prev = width
+        layers += [GlobalAvgPool2d(), Linear(prev, num_classes, rng=rng)]
+        self.net = Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_out)

@@ -1,0 +1,12 @@
+"""Client behaviour traces: availability duty cycles and compute speeds."""
+
+from repro.traces.availability import AvailabilityTrace, always_available
+from repro.traces.compute import ComputeTrace
+from repro.traces.diurnal import DiurnalAvailabilityTrace
+
+__all__ = [
+    "AvailabilityTrace",
+    "always_available",
+    "ComputeTrace",
+    "DiurnalAvailabilityTrace",
+]

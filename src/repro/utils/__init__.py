@@ -1,0 +1,7 @@
+"""Shared utilities: deterministic RNG fan-out, registries, run logging."""
+
+from repro.utils.rng import RngFactory, child_rng
+from repro.utils.registry import Registry
+from repro.utils.logging import RunLogger
+
+__all__ = ["RngFactory", "child_rng", "Registry", "RunLogger"]

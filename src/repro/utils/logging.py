@@ -1,0 +1,66 @@
+"""Lightweight structured logging for simulation runs.
+
+The simulator is often run inside pytest-benchmark, so the logger buffers
+events in memory and only prints when asked.  Each event is a flat dict,
+which keeps the records trivially JSON-serializable.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+__all__ = ["RunLogger"]
+
+
+class RunLogger:
+    """Buffers ``(tag, fields)`` events; optionally echoes them as they come.
+
+    Parameters
+    ----------
+    echo:
+        When true, every event is written to ``stream`` immediately.
+    stream:
+        Output stream for echoed events (default: ``sys.stderr``).
+    """
+
+    def __init__(self, echo: bool = False, stream: Optional[TextIO] = None):
+        self.echo = echo
+        self.stream = stream if stream is not None else sys.stderr
+        self.events: List[Dict[str, Any]] = []
+        self._t0 = time.monotonic()
+
+    def log(self, tag: str, **fields: Any) -> None:
+        event = {"tag": tag, "elapsed_s": round(time.monotonic() - self._t0, 3)}
+        event.update(fields)
+        self.events.append(event)
+        if self.echo:
+            print(self.format_event(event), file=self.stream)
+
+    @staticmethod
+    def format_event(event: Dict[str, Any]) -> str:
+        tag = event.get("tag", "?")
+        rest = {k: v for k, v in event.items() if k not in ("tag", "elapsed_s")}
+        body = " ".join(f"{k}={v}" for k, v in rest.items())
+        return f"[{event.get('elapsed_s', 0.0):8.2f}s] {tag}: {body}"
+
+    def filter(self, tag: str) -> List[Dict[str, Any]]:
+        """Return all events with the given tag."""
+        return [e for e in self.events if e["tag"] == tag]
+
+    def to_json(self) -> str:
+        return json.dumps(self.events, default=_jsonify)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+def _jsonify(obj: Any) -> Any:
+    """JSON fallback for numpy scalars/arrays."""
+    if hasattr(obj, "tolist"):  # ndarrays (any shape) and numpy scalars
+        return obj.tolist()
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(f"not JSON serializable: {type(obj)!r}")

@@ -1,0 +1,64 @@
+"""A minimal name → factory registry.
+
+Used to register models, datasets, and masking strategies by name so that
+experiment configurations can be expressed as plain data (strings + kwargs)
+and round-tripped through JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Registry"]
+
+
+class Registry(Generic[T]):
+    """A typed mapping from string keys to factories.
+
+    Examples
+    --------
+    >>> models: Registry[type] = Registry("model")
+    >>> @models.register("mlp")
+    ... class MLP: ...
+    >>> models.get("mlp") is MLP
+    True
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    def register(self, name: str) -> Callable[[T], T]:
+        """Class/function decorator registering the object under ``name``."""
+
+        def _decorator(obj: T) -> T:
+            if name in self._entries:
+                raise KeyError(f"{self.kind} {name!r} is already registered")
+            self._entries[name] = obj
+            return obj
+
+        return _decorator
+
+    def add(self, name: str, obj: T) -> None:
+        """Imperative form of :meth:`register`."""
+        self.register(name)(obj)
+
+    def get(self, name: str) -> T:
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<none>"
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; registered: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)

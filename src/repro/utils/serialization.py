@@ -1,0 +1,33 @@
+"""Persist run results as JSON (for offline analysis / plotting)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+from repro.fl.metrics import RoundRecord, RunResult
+
+__all__ = ["save_run", "load_run"]
+
+
+def save_run(result: RunResult, path: Union[str, Path]) -> None:
+    """Write a :class:`RunResult` to ``path`` as JSON."""
+    payload = {
+        "meta": result.meta,
+        "records": [asdict(r) for r in result.records],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_run(path: Union[str, Path]) -> RunResult:
+    """Read a :class:`RunResult` previously written by :func:`save_run`."""
+    payload = json.loads(Path(path).read_text())
+    records = []
+    for raw in payload["records"]:
+        details = raw.get("sync_details")
+        if details is not None:
+            raw["sync_details"] = [tuple(item) for item in details]
+        records.append(RoundRecord(**raw))
+    return RunResult(records=records, meta=payload.get("meta", {}))

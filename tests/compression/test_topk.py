@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.compression.topk import (
+    ratio_to_k,
+    sparsify_top_k,
+    top_k_indices,
+    top_k_mask,
+)
+
+
+def test_top_k_selects_largest_magnitudes():
+    x = np.array([0.1, -5.0, 2.0, -0.5, 3.0])
+    idx = top_k_indices(x, 2)
+    np.testing.assert_array_equal(idx, [1, 4])
+
+
+def test_top_k_edge_cases():
+    x = np.arange(5.0)
+    assert len(top_k_indices(x, 0)) == 0
+    np.testing.assert_array_equal(top_k_indices(x, 5), np.arange(5))
+    np.testing.assert_array_equal(top_k_indices(x, 99), np.arange(5))
+
+
+def test_top_k_mask_consistent_with_indices(rng):
+    x = rng.normal(size=100)
+    mask = top_k_mask(x, 30)
+    assert mask.sum() == 30
+    np.testing.assert_array_equal(np.flatnonzero(mask), top_k_indices(x, 30))
+
+
+def test_sparsify_values_match(rng):
+    x = rng.normal(size=50)
+    idx, vals = sparsify_top_k(x, 10)
+    np.testing.assert_array_equal(vals, x[idx])
+    # everything kept is >= everything dropped (in magnitude)
+    dropped = np.setdiff1d(np.arange(50), idx)
+    assert np.abs(x[idx]).min() >= np.abs(x[dropped]).max() - 1e-12
+
+
+def test_sparsify_returns_copies(rng):
+    x = rng.normal(size=20)
+    idx, vals = sparsify_top_k(x, 5)
+    vals[:] = 0
+    assert np.abs(x[idx]).sum() > 0
+
+
+def test_ratio_to_k():
+    assert ratio_to_k(0.2, 100) == 20
+    assert ratio_to_k(0.0, 100) == 0
+    assert ratio_to_k(1.0, 100) == 100
+    assert ratio_to_k(0.205, 10) == 2  # rounds
+
+
+def test_ratio_to_k_validation():
+    with pytest.raises(ValueError):
+        ratio_to_k(1.5, 10)
+    with pytest.raises(ValueError):
+        ratio_to_k(-0.1, 10)

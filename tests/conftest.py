@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import femnist_like
+from repro.nn import MLP
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A small, fast federation used across FL-engine tests."""
+    return femnist_like(
+        num_clients=40,
+        num_classes=4,
+        image_size=8,
+        samples_per_client=24,
+        min_samples=5,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def tiny_model(rng):
+    return MLP(in_features=64, hidden=(16,), num_classes=4, rng=rng)
+
+
+def numeric_gradient(f, theta, indices, eps=1e-6):
+    """Central-difference gradient of scalar ``f`` at chosen coordinates."""
+    out = np.zeros(len(indices))
+    for j, idx in enumerate(indices):
+        tp = theta.copy()
+        tp[idx] += eps
+        tm = theta.copy()
+        tm[idx] -= eps
+        out[j] = (f(tp) - f(tm)) / (2 * eps)
+    return out

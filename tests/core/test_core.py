@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.compression import ErrorCompMode, GlueFLMaskStrategy
+from repro.core import PAPER_PRESETS, make_gluefl, preset_for_model
+from repro.fl.samplers import StickySampler
+from repro.theory import suggest_learning_rate
+
+
+def test_make_gluefl_paper_defaults():
+    strategy, sampler = make_gluefl(30)
+    assert isinstance(strategy, GlueFLMaskStrategy)
+    assert isinstance(sampler, StickySampler)
+    assert sampler.group_size == 120  # 4K
+    assert sampler.sticky_count == 24  # 4K/5
+    assert strategy.q == 0.2
+    assert strategy.q_shr == 0.16
+    assert strategy.regen_interval == 10
+    assert strategy.residuals.mode is ErrorCompMode.REC
+
+
+def test_make_gluefl_overrides():
+    strategy, sampler = make_gluefl(
+        10,
+        group_size=25,
+        sticky_count=5,
+        q=0.3,
+        q_shr=0.24,
+        regen_interval=None,
+        error_comp=ErrorCompMode.NONE,
+        oc_sticky_share=0.1,
+    )
+    assert sampler.group_size == 25
+    assert sampler.sticky_count == 5
+    assert sampler.oc_sticky_share == 0.1
+    assert strategy.regen_interval is None
+    assert strategy.residuals.mode is ErrorCompMode.NONE
+
+
+def test_presets_match_paper_section_51():
+    shuffle = preset_for_model("shufflenet")
+    assert (shuffle.q, shuffle.q_shr) == (0.20, 0.16)
+    for name in ("mobilenet", "resnet"):
+        preset = preset_for_model(name)
+        assert (preset.q, preset.q_shr) == (0.30, 0.24)
+    for preset in PAPER_PRESETS.values():
+        assert preset.regen_interval == 10
+        assert preset.overcommit == 1.3
+        assert preset.group_size(30) == 120
+        assert preset.sticky_count(30) == 24
+
+
+def test_preset_unknown_model():
+    with pytest.raises(KeyError, match="transformer"):
+        preset_for_model("transformer")
+
+
+def test_suggest_learning_rate_scales():
+    p = np.full(100, 0.01)
+    lr_short = suggest_learning_rate(
+        num_clients=100, num_sampled=10, group_size=40, sticky_count=8,
+        rounds=100, local_steps=10, p=p,
+    )
+    lr_long = suggest_learning_rate(
+        num_clients=100, num_sampled=10, group_size=40, sticky_count=8,
+        rounds=10_000, local_steps=10, p=p,
+    )
+    assert 0 < lr_long < lr_short
+    # sticky geometry costs variance -> smaller lr than plain FedAvg
+    lr_fedavg = suggest_learning_rate(
+        num_clients=100, num_sampled=10, group_size=0, sticky_count=0,
+        rounds=100, local_steps=10, p=p,
+    )
+    assert lr_short < lr_fedavg

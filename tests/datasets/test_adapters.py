@@ -1,0 +1,116 @@
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    federation_from_arrays,
+    femnist_like,
+    subset_federation,
+    validate_federation,
+)
+
+
+def make_shards(rng, n_clients=4, n=10, shape=(1, 6, 6), classes=3):
+    return [
+        (rng.normal(size=(n, *shape)), rng.integers(0, classes, n))
+        for _ in range(n_clients)
+    ]
+
+
+def test_from_arrays_builds_valid_federation(rng):
+    shards = make_shards(rng)
+    test_x = rng.normal(size=(8, 1, 6, 6))
+    test_y = rng.integers(0, 3, 8)
+    fed = federation_from_arrays(shards, test_x, test_y)
+    assert fed.num_clients == 4
+    assert fed.num_classes == 3
+    assert fed.in_channels == 1
+    assert fed.image_size == 6
+    validate_federation(fed)  # no raise
+
+
+def test_from_arrays_explicit_num_classes(rng):
+    shards = make_shards(rng, classes=2)
+    fed = federation_from_arrays(
+        shards,
+        rng.normal(size=(4, 1, 6, 6)),
+        rng.integers(0, 2, 4),
+        num_classes=10,
+    )
+    assert fed.num_classes == 10
+
+
+def test_from_arrays_trains(rng):
+    """The adapter output drives the full training loop."""
+    from repro.compression import FedAvgStrategy
+    from repro.fl import RunConfig, UniformSampler, run_training
+
+    shards = make_shards(rng, n_clients=10, n=20)
+    fed = federation_from_arrays(
+        shards, rng.normal(size=(16, 1, 6, 6)), rng.integers(0, 3, 16)
+    )
+    cfg = RunConfig(
+        dataset=fed,
+        model_name="mlp",
+        model_kwargs={"hidden": (8,)},
+        strategy=FedAvgStrategy(),
+        sampler=UniformSampler(3),
+        rounds=3,
+        local_steps=2,
+        seed=0,
+    )
+    assert run_training(cfg).num_rounds == 3
+
+
+def test_from_arrays_rejects_bad_shapes(rng):
+    with pytest.raises(ValueError, match=r"\(n, C, H, W\)"):
+        federation_from_arrays(
+            [(rng.normal(size=(5, 36)), rng.integers(0, 2, 5))],
+            rng.normal(size=(2, 1, 6, 6)),
+            rng.integers(0, 2, 2),
+        )
+    with pytest.raises(ValueError):
+        federation_from_arrays([], rng.normal(size=(2, 1, 6, 6)), np.zeros(2, int))
+
+
+def test_validate_catches_geometry_mismatch(rng):
+    shards = make_shards(rng)
+    fed = federation_from_arrays(
+        shards, rng.normal(size=(4, 1, 6, 6)), rng.integers(0, 3, 4)
+    )
+    fed.clients[1].x = rng.normal(size=(10, 1, 5, 5))
+    with pytest.raises(ValueError, match="geometry"):
+        validate_federation(fed)
+
+
+def test_validate_catches_label_range(rng):
+    shards = make_shards(rng)
+    fed = federation_from_arrays(
+        shards, rng.normal(size=(4, 1, 6, 6)), rng.integers(0, 3, 4)
+    )
+    fed.clients[0].y[0] = 99
+    object.__setattr__(fed, "num_classes", 3)
+    with pytest.raises(ValueError, match="labels outside"):
+        validate_federation(fed)
+
+
+def test_validate_catches_nan(rng):
+    shards = make_shards(rng)
+    fed = federation_from_arrays(
+        shards, rng.normal(size=(4, 1, 6, 6)), rng.integers(0, 3, 4)
+    )
+    fed.clients[2].x[0, 0, 0, 0] = np.nan
+    with pytest.raises(ValueError, match="NaN"):
+        validate_federation(fed)
+
+
+def test_subset_federation(rng):
+    fed = femnist_like(num_clients=30, samples_per_client=30, seed=0)
+    sub = subset_federation(fed, 10, rng)
+    assert sub.num_clients == 10
+    assert [c.client_id for c in sub.clients] == list(range(10))
+    np.testing.assert_array_equal(sub.test_x, fed.test_x)
+    validate_federation(sub)
+    with pytest.raises(ValueError):
+        subset_federation(fed, 0)
+    with pytest.raises(ValueError):
+        subset_federation(fed, 10_000)

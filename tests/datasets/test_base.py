@@ -1,0 +1,111 @@
+import numpy as np
+import pytest
+
+from repro.datasets.base import ClientDataset, FederatedDataset
+
+
+def make_client(n, classes=3, cid=0, seed=0):
+    rng = np.random.default_rng(seed)
+    return ClientDataset(
+        x=rng.normal(size=(n, 1, 4, 4)), y=rng.integers(0, classes, n), client_id=cid
+    )
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        ClientDataset(x=np.zeros((3, 2)), y=np.zeros(2, dtype=int))
+
+
+def test_batches_yield_requested_count(rng):
+    client = make_client(10)
+    batches = list(client.batches(4, rng, num_batches=7))
+    assert len(batches) == 7
+    assert all(len(xb) <= 4 for xb, _ in batches)
+
+
+def test_batches_cycle_through_epochs(rng):
+    """More steps than one epoch: the iterator reshuffles and continues."""
+    client = make_client(6)
+    batches = list(client.batches(3, rng, num_batches=10))
+    assert len(batches) == 10
+    total = sum(len(xb) for xb, _ in batches)
+    assert total == 30
+
+
+def test_batches_default_one_epoch(rng):
+    client = make_client(12)
+    batches = list(client.batches(4, rng))
+    assert len(batches) == 3
+
+
+def test_batches_validation(rng):
+    client = make_client(4)
+    with pytest.raises(ValueError):
+        list(client.batches(0, rng))
+    empty = ClientDataset(x=np.zeros((0, 2)), y=np.zeros(0, dtype=int))
+    with pytest.raises(ValueError):
+        list(empty.batches(2, rng))
+
+
+def test_label_histogram():
+    client = ClientDataset(
+        x=np.zeros((5, 1)), y=np.array([0, 0, 2, 2, 2]), client_id=0
+    )
+    np.testing.assert_array_equal(client.label_histogram(4), [2, 0, 3, 0])
+
+
+def make_federation(sizes, classes=3):
+    clients = [make_client(n, classes, cid=i, seed=i) for i, n in enumerate(sizes)]
+    rng = np.random.default_rng(9)
+    return FederatedDataset(
+        clients=clients,
+        test_x=rng.normal(size=(8, 1, 4, 4)),
+        test_y=rng.integers(0, classes, 8),
+        num_classes=classes,
+        in_channels=1,
+        image_size=4,
+    )
+
+
+def test_weights_proportional_to_sizes():
+    fed = make_federation([10, 30, 60])
+    np.testing.assert_allclose(fed.weights(), [0.1, 0.3, 0.6])
+    assert fed.weights().sum() == pytest.approx(1.0)
+
+
+def test_total_samples():
+    fed = make_federation([5, 7])
+    assert fed.total_samples() == 12
+    assert fed.num_clients == 2
+
+
+def test_noniid_degree_zero_for_identical_mixes():
+    clients = [
+        ClientDataset(x=np.zeros((4, 1)), y=np.array([0, 0, 1, 1]), client_id=i)
+        for i in range(3)
+    ]
+    fed = FederatedDataset(
+        clients=clients,
+        test_x=np.zeros((2, 1)),
+        test_y=np.array([0, 1]),
+        num_classes=2,
+        in_channels=1,
+        image_size=1,
+    )
+    assert fed.noniid_degree() == pytest.approx(0.0)
+
+
+def test_noniid_degree_high_for_single_class_clients():
+    clients = [
+        ClientDataset(x=np.zeros((4, 1)), y=np.full(4, i % 2), client_id=i)
+        for i in range(4)
+    ]
+    fed = FederatedDataset(
+        clients=clients,
+        test_x=np.zeros((2, 1)),
+        test_y=np.array([0, 1]),
+        num_classes=2,
+        in_channels=1,
+        image_size=1,
+    )
+    assert fed.noniid_degree() == pytest.approx(0.5)

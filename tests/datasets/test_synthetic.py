@@ -1,0 +1,124 @@
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FEDSCALE_MIN_SAMPLES,
+    femnist_like,
+    filter_min_samples,
+    openimage_like,
+    speech_like,
+    synthetic_federation,
+)
+from repro.datasets.synthetic import (
+    image_prototypes,
+    sample_from_prototypes,
+    spectrogram_prototypes,
+)
+
+
+def test_image_prototypes_unit_power(rng):
+    protos = image_prototypes(5, 3, 16, rng)
+    assert protos.shape == (5, 3, 16, 16)
+    power = np.sqrt((protos**2).mean(axis=(1, 2, 3)))
+    np.testing.assert_allclose(power, 1.0, atol=1e-9)
+
+
+def test_image_prototypes_blocky_structure(rng):
+    """Kron upsampling makes 4x4 blocks constant."""
+    protos = image_prototypes(2, 1, 16, rng, coarse=4)
+    block = protos[0, 0, :4, :4]
+    assert np.allclose(block, block[0, 0])
+
+
+def test_spectrogram_prototypes_sparse_rows(rng):
+    protos = spectrogram_prototypes(4, 1, 32, rng, tones_per_class=2)
+    assert protos.shape == (4, 1, 32, 32)
+    # energy concentrates in few frequency rows
+    row_energy = (protos[0, 0] ** 2).sum(axis=1)
+    top4 = np.sort(row_energy)[-4:].sum()
+    assert top4 / row_energy.sum() > 0.6
+
+
+def test_samples_centered_on_prototypes(rng):
+    protos = image_prototypes(3, 1, 8, rng)
+    labels = np.zeros(500, dtype=int)
+    x = sample_from_prototypes(protos, labels, rng, noise=0.1, amplitude_jitter=0.0)
+    np.testing.assert_allclose(x.mean(axis=0), protos[0], atol=0.05)
+
+
+def test_federation_shapes_and_reproducibility():
+    a = femnist_like(num_clients=30, num_classes=5, samples_per_client=30, seed=3)
+    b = femnist_like(num_clients=30, num_classes=5, samples_per_client=30, seed=3)
+    assert a.num_clients == b.num_clients
+    np.testing.assert_array_equal(a.test_x, b.test_x)
+    np.testing.assert_array_equal(a.clients[0].x, b.clients[0].x)
+
+
+def test_federation_different_seeds_differ():
+    a = femnist_like(num_clients=20, samples_per_client=30, seed=1)
+    b = femnist_like(num_clients=20, samples_per_client=30, seed=2)
+    assert not np.array_equal(a.test_x, b.test_x)
+
+
+def test_federation_is_noniid():
+    fed = femnist_like(num_clients=50, num_classes=10, samples_per_client=40, seed=0)
+    assert fed.noniid_degree() > 0.2
+
+
+def test_openimage_three_channels():
+    fed = openimage_like(num_clients=20, samples_per_client=30, seed=0)
+    assert fed.in_channels == 3
+    assert fed.clients[0].x.shape[1] == 3
+
+
+def test_speech_uses_spectrogram_prototypes():
+    fed = speech_like(num_clients=20, samples_per_client=30, seed=0)
+    assert fed.in_channels == 1
+    assert fed.name == "google_speech"
+
+
+def test_min_samples_filter():
+    fed = synthetic_federation(
+        name="t",
+        num_clients=40,
+        num_classes=4,
+        in_channels=1,
+        image_size=8,
+        samples_per_client=25,
+        alpha=0.1,  # heavy skew -> some tiny clients
+        noise=1.0,
+        rng=np.random.default_rng(0),
+    )
+    filtered = filter_min_samples(fed, 15)
+    assert filtered.num_clients <= fed.num_clients
+    assert all(len(c) >= 15 for c in filtered.clients)
+    # ids re-assigned contiguously
+    assert [c.client_id for c in filtered.clients] == list(
+        range(filtered.num_clients)
+    )
+
+
+def test_filter_everything_raises():
+    fed = femnist_like(num_clients=10, samples_per_client=30, seed=0)
+    with pytest.raises(ValueError):
+        filter_min_samples(fed, 10**6)
+
+
+def test_fedscale_default_constant():
+    assert FEDSCALE_MIN_SAMPLES == 22
+
+
+def test_unknown_prototype_kind(rng):
+    with pytest.raises(ValueError):
+        synthetic_federation(
+            name="x",
+            num_clients=4,
+            num_classes=2,
+            in_channels=1,
+            image_size=8,
+            samples_per_client=10,
+            alpha=1.0,
+            noise=1.0,
+            rng=rng,
+            prototype_kind="audio",
+        )

@@ -1,0 +1,53 @@
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+
+
+def test_all_experiments_registered():
+    assert set(EXPERIMENTS) == {
+        "fig1",
+        "fig2",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "table2",
+        "table3",
+        "theory",
+    }
+
+
+def test_parser_accepts_known_experiments():
+    parser = build_parser()
+    args = parser.parse_args(["fig2", "--rounds", "10", "--seed", "3"])
+    assert args.experiment == "fig2"
+    assert args.rounds == 10
+    assert args.seed == 3
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table2" in out and "fig9" in out
+
+
+def test_theory_command_prints_case_study(capsys):
+    assert main(["theory"]) == 0
+    out = capsys.readouterr().out
+    assert "20.0%" in out
+
+
+def test_fig1_command(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "bandwidth distribution" in out
+
+
+def test_save_writes_artifact(tmp_path, capsys):
+    target = tmp_path / "artifact.txt"
+    assert main(["theory", "--save", str(target)]) == 0
+    capsys.readouterr()
+    content = target.read_text()
+    assert "Sampling case study" in content
+    assert "20.0%" in content

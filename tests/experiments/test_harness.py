@@ -1,0 +1,118 @@
+"""Tests of the experiment harness (scenarios, runner, report)."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    APFStrategy,
+    FedAvgStrategy,
+    GlueFLMaskStrategy,
+    STCStrategy,
+)
+from repro.experiments import (
+    SCENARIOS,
+    STRATEGY_NAMES,
+    common_target_accuracy,
+    get_scenario,
+    make_strategy,
+    run_strategy,
+    table2_rows,
+)
+from repro.experiments.report import format_series, format_table
+from repro.fl.samplers import StickySampler, UniformSampler
+
+
+def test_scenarios_registered():
+    names = set(SCENARIOS)
+    for required in (
+        "femnist-shufflenet",
+        "femnist-mobilenet",
+        "openimage-shufflenet",
+        "openimage-mobilenet",
+        "speech-resnet",
+        "femnist-tiny",
+    ):
+        assert required in names
+
+
+def test_scenario_dataset_reproducible():
+    scenario = get_scenario("femnist-tiny")
+    a = scenario.dataset(seed=3)
+    b = scenario.dataset(seed=3)
+    np.testing.assert_array_equal(a.test_x, b.test_x)
+
+
+def test_scenario_with_override():
+    scenario = get_scenario("femnist-tiny")
+    assert scenario.with_(rounds=7).rounds == 7
+    assert scenario.rounds != 7  # frozen original untouched
+
+
+@pytest.mark.parametrize("name", STRATEGY_NAMES)
+def test_make_strategy_types(name):
+    scenario = get_scenario("femnist-tiny")
+    strategy, sampler = make_strategy(name, scenario)
+    expected = {
+        "fedavg": FedAvgStrategy,
+        "stc": STCStrategy,
+        "apf": APFStrategy,
+        "gluefl": GlueFLMaskStrategy,
+    }[name]
+    assert isinstance(strategy, expected)
+    if name == "gluefl":
+        assert isinstance(sampler, StickySampler)
+        assert sampler.group_size == 4 * scenario.k
+    else:
+        assert isinstance(sampler, UniformSampler)
+
+
+def test_make_strategy_gluefl_overrides():
+    scenario = get_scenario("femnist-tiny")
+    strategy, sampler = make_strategy(
+        "gluefl",
+        scenario,
+        group_size=12,
+        sticky_count=3,
+        q=0.5,
+        q_shr=0.25,
+        regen_interval=None,
+    )
+    assert sampler.group_size == 12
+    assert sampler.sticky_count == 3
+    assert strategy.q == 0.5
+    assert strategy.regen_interval is None
+
+
+def test_unknown_strategy():
+    with pytest.raises(KeyError):
+        make_strategy("zip", get_scenario("femnist-tiny"))
+
+
+def test_run_strategy_meta():
+    scenario = get_scenario("femnist-tiny").with_(rounds=4)
+    result = run_strategy(scenario, "fedavg", seed=1)
+    assert result.meta["strategy_name"] == "fedavg"
+    assert result.meta["scenario"] == "femnist-tiny"
+    assert result.num_rounds == 4
+
+
+def test_common_target_and_rows():
+    scenario = get_scenario("femnist-tiny").with_(rounds=10, eval_every=2)
+    results = {
+        name: run_strategy(scenario, name, seed=0)
+        for name in ("fedavg", "gluefl")
+    }
+    target = common_target_accuracy(results)
+    assert 0.0 < target < 1.0
+    rows = table2_rows(results, target)
+    for report in rows.values():
+        assert report.reached_target
+        assert report.dv_gb > 0
+    text = format_table("t", rows)
+    assert "fedavg" in text and "DV=" in text
+
+
+def test_format_series_subsamples():
+    series = {"a": [(float(i), 0.1 * i) for i in range(50)]}
+    text = format_series("title", series, max_points=5)
+    assert text.count("(") < 20

@@ -1,0 +1,124 @@
+import numpy as np
+import pytest
+
+from repro.fl.extra_samplers import MDSampler, OortLikeSampler
+
+
+def all_available(n):
+    return np.ones(n, dtype=bool)
+
+
+# ---------------------------------------------------------------- MD sampling
+def test_md_uniform_p_draws_k(rng):
+    sampler = MDSampler(8)
+    sampler.setup(100, rng)
+    draw = sampler.draw(1, all_available(100))
+    assert draw.quota_nonsticky <= 8
+    assert len(draw.nonsticky) >= draw.quota_nonsticky
+
+
+def test_md_respects_importance_weights(rng):
+    p = np.zeros(50)
+    p[:5] = 1.0  # all mass on the first five clients
+    sampler = MDSampler(5, p=p)
+    sampler.setup(50, rng)
+    for t in range(10):
+        draw = sampler.draw(t, all_available(50))
+        assert set(draw.nonsticky) <= set(range(5))
+
+
+def test_md_normalizes_p(rng):
+    sampler = MDSampler(3, p=np.full(20, 7.0))
+    sampler.setup(20, rng)
+    np.testing.assert_allclose(sampler._p.sum(), 1.0)
+
+
+def test_md_p_length_validation(rng):
+    sampler = MDSampler(3, p=np.ones(5))
+    with pytest.raises(ValueError):
+        sampler.setup(20, rng)
+
+
+def test_md_availability(rng):
+    sampler = MDSampler(3)
+    sampler.setup(20, rng)
+    available = np.zeros(20, dtype=bool)
+    available[10:] = True
+    draw = sampler.draw(1, available)
+    assert (draw.nonsticky >= 10).all()
+
+
+# ---------------------------------------------------------------- Oort-like
+def test_oort_starts_with_exploration(rng):
+    sampler = OortLikeSampler(6, exploration=0.5)
+    sampler.setup(60, rng)
+    draw = sampler.draw(1, all_available(60))
+    # nothing explored yet: all candidates are fresh draws
+    assert len(draw.nonsticky) >= 6
+
+
+def test_oort_exploits_high_loss_clients(rng):
+    sampler = OortLikeSampler(4, exploration=0.0)
+    sampler.setup(40, rng)
+    # feed back losses: clients 0..3 have the highest
+    for cid in range(20):
+        sampler.observe_loss(cid, 5.0 if cid < 4 else 0.1)
+        sampler.observe_speed(cid, 0.5)
+    draw = sampler.draw(2, all_available(40), overcommit=1.0)
+    assert set(draw.nonsticky[:4]) == {0, 1, 2, 3}
+
+
+def test_oort_penalizes_slow_clients(rng):
+    sampler = OortLikeSampler(2, exploration=0.0, deadline_seconds=1.0)
+    sampler.setup(10, rng)
+    sampler.observe_loss(0, 1.0)
+    sampler.observe_loss(1, 1.0)
+    sampler.observe_speed(0, 0.5)  # fast
+    sampler.observe_speed(1, 50.0)  # very slow
+    assert sampler.utility(0) > sampler.utility(1)
+
+
+def test_oort_exploration_mixes_fresh_clients(rng):
+    sampler = OortLikeSampler(10, exploration=0.4)
+    sampler.setup(100, rng)
+    for cid in range(50):
+        sampler.observe_loss(cid, 1.0)
+        sampler.observe_speed(cid, 1.0)
+    draw = sampler.draw(3, all_available(100), overcommit=1.0)
+    fresh = [c for c in draw.nonsticky if c >= 50]
+    assert len(fresh) >= 2  # ~40% of 10 slots
+
+
+def test_oort_backfills_when_no_fresh_clients(rng):
+    sampler = OortLikeSampler(5, exploration=0.5)
+    sampler.setup(10, rng)
+    for cid in range(10):
+        sampler.observe_loss(cid, float(cid))
+    draw = sampler.draw(1, all_available(10), overcommit=1.0)
+    assert len(draw.nonsticky) == 5
+
+
+def test_oort_validation():
+    with pytest.raises(ValueError):
+        OortLikeSampler(5, exploration=1.5)
+
+
+def test_oort_in_full_training_loop(tiny_dataset):
+    """OortLikeSampler plugs into the server loop with equal weights."""
+    from repro.compression import FedAvgStrategy
+    from repro.fl import RunConfig, run_training
+
+    sampler = OortLikeSampler(5, exploration=0.3)
+    cfg = RunConfig(
+        dataset=tiny_dataset,
+        model_name="mlp",
+        model_kwargs={"hidden": (16,)},
+        strategy=FedAvgStrategy(),
+        sampler=sampler,
+        rounds=6,
+        local_steps=2,
+        weight_mode="equal",
+        seed=0,
+    )
+    result = run_training(cfg)
+    assert result.num_rounds == 6

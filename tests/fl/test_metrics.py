@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+
+from repro.fl.metrics import RoundRecord, RunResult
+
+
+def record(t, acc=None, down=100, up=50, secs=2.0, dl=1.0):
+    return RoundRecord(
+        round_idx=t,
+        down_bytes=down,
+        up_bytes=up,
+        round_seconds=secs,
+        download_seconds=dl,
+        compute_seconds=0.5,
+        upload_seconds=0.5,
+        num_candidates=13,
+        num_participants=10,
+        mean_stale_fraction=0.5,
+        train_loss=1.0,
+        accuracy=acc,
+    )
+
+
+def make_run(accs):
+    run = RunResult()
+    for t, acc in enumerate(accs, start=1):
+        run.append(record(t, acc))
+    return run
+
+
+def test_cumulative_series():
+    run = make_run([None, 0.5, None, 0.6])
+    np.testing.assert_array_equal(run.cumulative_down_bytes(), [100, 200, 300, 400])
+    np.testing.assert_array_equal(run.cumulative_up_bytes(), [50, 100, 150, 200])
+    np.testing.assert_allclose(run.cumulative_seconds(), [2, 4, 6, 8])
+
+
+def test_accuracy_points_skip_unevaluated():
+    run = make_run([None, 0.5, None, 0.6])
+    assert run.accuracy_points() == [(2, 0.5), (4, 0.6)]
+
+
+def test_smoothed_accuracy_window():
+    run = make_run([0.2, 0.4, 0.6, 0.8])
+    smoothed = dict(run.smoothed_accuracy(window=2))
+    assert smoothed[1] == pytest.approx(0.2)
+    assert smoothed[2] == pytest.approx(0.3)
+    assert smoothed[4] == pytest.approx(0.7)
+
+
+def test_rounds_to_target():
+    run = make_run([0.2, 0.4, 0.9, 0.9])
+    # window 2: averages 0.2, 0.3, 0.65, 0.9 -> target 0.6 reached at round 3
+    assert run.rounds_to_target(0.6, window=2) == 3
+    assert run.rounds_to_target(0.95, window=2) is None
+
+
+def test_report_cuts_at_target_round():
+    run = make_run([0.2, 0.9, 0.9, 0.9])
+    rep = run.report(target_accuracy=0.5, window=1)
+    assert rep.reached_target
+    assert rep.target_round == 2
+    assert rep.dv_gb == pytest.approx(200 / 1e9)
+    assert rep.tv_gb == pytest.approx(300 / 1e9)
+    assert rep.tt_hours == pytest.approx(4 / 3600)
+    assert rep.dt_hours == pytest.approx(2 / 3600)
+
+
+def test_report_full_run_when_target_missed():
+    run = make_run([0.1, 0.2])
+    rep = run.report(target_accuracy=0.9)
+    assert not rep.reached_target
+    assert rep.dv_gb == pytest.approx(200 / 1e9)
+    assert "not reached" in rep.as_row("x")
+
+
+def test_report_without_target():
+    run = make_run([0.5])
+    rep = run.report()
+    assert not rep.reached_target
+    assert rep.final_accuracy == 0.5
+
+
+def test_empty_run_raises():
+    with pytest.raises(ValueError):
+        RunResult().report()
+
+
+def test_best_and_final_accuracy():
+    run = make_run([0.2, 0.8, 0.4])
+    assert run.best_accuracy(window=1) == pytest.approx(0.8)
+    assert run.final_accuracy(window=1) == pytest.approx(0.4)
+    assert RunResult().final_accuracy() == 0.0
+
+
+def test_accuracy_vs_down_gb_alignment():
+    run = make_run([None, 0.5, None, 0.7])
+    pairs = run.accuracy_vs_down_gb(window=1)
+    assert pairs[0] == (pytest.approx(200 / 1e9), 0.5)
+    assert pairs[1] == (pytest.approx(400 / 1e9), 0.7)

@@ -1,0 +1,98 @@
+import numpy as np
+import pytest
+
+from repro.fl.simulator import CandidateTimings, select_participants
+
+
+def timings(ids, down, comp, up):
+    return CandidateTimings(
+        client_ids=np.asarray(ids, dtype=np.int64),
+        download_s=np.asarray(down, dtype=float),
+        compute_s=np.asarray(comp, dtype=float),
+        upload_s=np.asarray(up, dtype=float),
+    )
+
+
+def empty():
+    return timings([], [], [], [])
+
+
+def alive(n):
+    return np.ones(n, dtype=bool)
+
+
+def test_finish_time_is_sum():
+    t = timings([0, 1], [1, 2], [3, 1], [0.5, 0.5])
+    np.testing.assert_allclose(t.finish_s, [4.5, 3.5])
+
+
+def test_parallel_array_validation():
+    with pytest.raises(ValueError):
+        timings([0, 1], [1.0], [1.0, 2.0], [1.0, 2.0])
+
+
+def test_fastest_k_selected():
+    t = timings([10, 11, 12, 13], [4, 1, 3, 2], [0, 0, 0, 0], [0, 0, 0, 0])
+    sel = select_participants(empty(), t, 0, 2, alive(0), alive(4))
+    assert set(sel.nonsticky_ids) == {11, 13}
+    assert sel.round_seconds == pytest.approx(2.0)
+
+
+def test_round_clock_is_last_needed_upload():
+    sticky = timings([0, 1], [1, 5], [0, 0], [0, 0])
+    non = timings([2], [2], [0, ], [0])
+    sel = select_participants(sticky, non, 2, 1, alive(2), alive(1))
+    # both sticky needed: round ends at the slower (5)
+    assert sel.round_seconds == pytest.approx(5.0)
+    assert sel.download_seconds == pytest.approx(5.0)
+
+
+def test_dropouts_excluded():
+    t = timings([0, 1, 2], [1, 2, 3], [0, 0, 0], [0, 0, 0])
+    survives = np.array([False, True, True])
+    sel = select_participants(empty(), t, 0, 2, alive(0), survives)
+    assert set(sel.nonsticky_ids) == {1, 2}
+    assert sel.round_seconds == pytest.approx(3.0)
+
+
+def test_shortfall_takes_all_survivors():
+    t = timings([0, 1, 2], [1, 1, 1], [0, 0, 0], [0, 0, 0])
+    survives = np.array([True, False, False])
+    sel = select_participants(empty(), t, 0, 3, alive(0), survives)
+    assert sel.count == 1
+
+
+def test_quota_split_respected():
+    sticky = timings([0, 1, 2], [9, 9, 9], [0, 0, 0], [0, 0, 0])
+    non = timings([5, 6], [1, 1], [0, 0], [0, 0])
+    sel = select_participants(sticky, non, 2, 1, alive(3), alive(2))
+    assert len(sel.sticky_ids) == 2
+    assert len(sel.nonsticky_ids) == 1
+    # slow sticky candidates still gate the round
+    assert sel.round_seconds == pytest.approx(9.0)
+
+
+def test_metric_decomposition():
+    t = timings([0, 1], [1, 2], [3, 4], [5, 6])
+    sel = select_participants(empty(), t, 0, 2, alive(0), alive(2))
+    assert sel.download_seconds == pytest.approx(2.0)
+    assert sel.compute_seconds == pytest.approx(4.0)
+    assert sel.upload_seconds == pytest.approx(6.0)
+    assert sel.round_seconds == pytest.approx(12.0)
+
+
+def test_empty_selection_zero_times():
+    sel = select_participants(empty(), empty(), 0, 0, alive(0), alive(0))
+    assert sel.count == 0
+    assert sel.round_seconds == 0.0
+
+
+def test_overcommit_reduces_round_time():
+    """The Table 3b effect: more candidates -> faster Kth finisher."""
+    rng = np.random.default_rng(0)
+    finishes = rng.exponential(5.0, size=100)
+    base = timings(np.arange(10), finishes[:10], np.zeros(10), np.zeros(10))
+    oc = timings(np.arange(20), finishes[:20], np.zeros(20), np.zeros(20))
+    t_base = select_participants(empty(), base, 0, 10, alive(0), alive(10))
+    t_oc = select_participants(empty(), oc, 0, 10, alive(0), alive(20))
+    assert t_oc.round_seconds <= t_base.round_seconds

@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.fl.staleness import StalenessTracker
+from repro.network.encoding import dense_bytes, sparse_bytes
+
+
+def test_first_contact_downloads_full_model():
+    tr = StalenessTracker(d=100, num_clients=5)
+    assert tr.stale_count(0) == 100
+    assert tr.download_bytes(0) == dense_bytes(100)
+
+
+def test_synced_client_downloads_nothing():
+    tr = StalenessTracker(d=100, num_clients=5)
+    tr.mark_synced(np.array([0]))
+    assert tr.stale_count(0) == 0
+    assert tr.download_bytes(0) == 0
+
+
+def test_staleness_accumulates_union_of_masks():
+    tr = StalenessTracker(d=100, num_clients=3)
+    tr.mark_synced(np.array([0, 1]))
+    tr.record_update(np.arange(0, 10))
+    tr.record_update(np.arange(5, 15))  # overlap with previous
+    assert tr.stale_count(0) == 15  # union, not sum
+    tr.mark_synced(np.array([0]))
+    tr.record_update(np.arange(20, 25))
+    assert tr.stale_count(0) == 5
+    assert tr.stale_count(1) == 20
+
+
+def test_stale_positions_exact():
+    tr = StalenessTracker(d=20, num_clients=2)
+    tr.mark_synced(np.array([0]))
+    tr.record_update(np.array([3, 7]))
+    np.testing.assert_array_equal(tr.stale_positions(0), [3, 7])
+    np.testing.assert_array_equal(tr.stale_positions(1), np.arange(20))
+
+
+def test_vectorized_counts_match_scalar():
+    tr = StalenessTracker(d=50, num_clients=6)
+    tr.mark_synced(np.array([1, 3]))
+    tr.record_update(np.arange(10))
+    tr.mark_synced(np.array([3]))
+    tr.record_update(np.arange(5, 20))
+    ids = np.arange(6)
+    counts = tr.stale_counts(ids)
+    for i in ids:
+        assert counts[i] == tr.stale_count(i)
+    nbytes = tr.download_bytes_many(ids)
+    for i in ids:
+        assert nbytes[i] == tr.download_bytes(i)
+
+
+def test_download_bytes_sparse_vs_dense():
+    tr = StalenessTracker(d=1000, num_clients=2)
+    tr.mark_synced(np.array([0]))
+    tr.record_update(np.arange(10))
+    assert tr.download_bytes(0) == sparse_bytes(10, 1000)
+    # client 1 never synced -> dense
+    assert tr.download_bytes(1) == dense_bytes(1000)
+
+
+def test_mean_staleness_fraction():
+    tr = StalenessTracker(d=100, num_clients=4)
+    tr.mark_synced(np.array([0, 1, 2, 3]))
+    tr.record_update(np.arange(50))
+    tr.mark_synced(np.array([0]))
+    frac = tr.mean_staleness_fraction(np.array([0, 1]))
+    assert frac == pytest.approx((0.0 + 0.5) / 2)
+    assert tr.mean_staleness_fraction(np.array([])) == 0.0
+
+
+def test_version_monotonic():
+    tr = StalenessTracker(d=10, num_clients=1)
+    assert tr.record_update(np.array([0])) == 1
+    assert tr.record_update(np.array([1])) == 2
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StalenessTracker(0, 5)
+    with pytest.raises(ValueError):
+        StalenessTracker(5, 0)

@@ -1,0 +1,111 @@
+"""Failure injection: dropouts, empty pools, degenerate configurations."""
+
+import numpy as np
+import pytest
+
+from repro.compression import FedAvgStrategy, STCStrategy
+from repro.core import make_gluefl
+from repro.fl import RunConfig, UniformSampler, run_training
+from repro.fl.samplers import StickySampler
+from repro.traces.availability import AvailabilityTrace
+
+
+class TotalDropoutTrace(AvailabilityTrace):
+    """Everyone online, but no upload ever arrives."""
+
+    def __init__(self, n):
+        super().__init__(n, np.random.default_rng(0), mean_on_fraction=1.0, dropout_prob=0.0)
+        self._on_fraction = np.ones(n)
+
+    def survives_round(self, client_ids):
+        return np.zeros(len(client_ids), dtype=bool)
+
+
+class NobodyOnlineTrace(AvailabilityTrace):
+    def __init__(self, n):
+        super().__init__(n, np.random.default_rng(0), mean_on_fraction=1.0, dropout_prob=0.0)
+
+    def online(self, round_idx):
+        return np.zeros(self.num_clients, dtype=bool)
+
+
+def base_config(dataset, **overrides):
+    params = dict(
+        dataset=dataset,
+        model_name="mlp",
+        model_kwargs={"hidden": (8,)},
+        strategy=FedAvgStrategy(),
+        sampler=UniformSampler(4),
+        rounds=3,
+        local_steps=2,
+        seed=0,
+    )
+    params.update(overrides)
+    return RunConfig(**params)
+
+
+def test_total_dropout_raises(tiny_dataset):
+    cfg = base_config(
+        tiny_dataset,
+        availability_trace=TotalDropoutTrace(tiny_dataset.num_clients),
+    )
+    with pytest.raises(RuntimeError, match="no participants survived"):
+        run_training(cfg)
+
+
+def test_nobody_online_raises(tiny_dataset):
+    cfg = base_config(
+        tiny_dataset,
+        availability_trace=NobodyOnlineTrace(tiny_dataset.num_clients),
+    )
+    with pytest.raises(RuntimeError, match="no clients available"):
+        run_training(cfg)
+
+
+def test_high_dropout_still_progresses(tiny_dataset):
+    """With 40% dropout, over-commitment keeps rounds alive."""
+    cfg = base_config(
+        tiny_dataset,
+        dropout_prob=0.4,
+        overcommit=1.5,
+        rounds=8,
+    )
+    result = run_training(cfg)
+    assert result.num_rounds == 8
+    assert (result.series("num_participants") >= 1).all()
+
+
+def test_sticky_group_fully_offline_falls_back(tiny_dataset):
+    """If every sticky client is offline the round fills from non-sticky."""
+    strategy, sampler = make_gluefl(4, group_size=10, sticky_count=3, q=0.3, q_shr=0.1)
+    cfg = base_config(tiny_dataset, strategy=strategy, sampler=sampler, rounds=1)
+    from repro.fl.server import FLServer
+
+    server = FLServer(cfg)
+    available = np.ones(tiny_dataset.num_clients, dtype=bool)
+    available[server.sampler.sticky_group] = False
+    draw = server.sampler.draw(1, available, overcommit=1.0)
+    assert draw.quota_sticky == 0
+    assert draw.quota_nonsticky == 4
+
+
+def test_single_client_per_round(tiny_dataset):
+    cfg = base_config(tiny_dataset, sampler=UniformSampler(1), rounds=4)
+    result = run_training(cfg)
+    assert result.num_rounds == 4
+
+
+def test_stc_with_tiny_k_and_extreme_q(tiny_dataset):
+    """q close to 1 behaves like dense; training still proceeds."""
+    cfg = base_config(tiny_dataset, strategy=STCStrategy(q=0.99), rounds=3)
+    result = run_training(cfg)
+    assert result.num_rounds == 3
+
+
+def test_sticky_sampler_rejects_group_as_large_as_population(tiny_dataset):
+    sampler = StickySampler(4, group_size=tiny_dataset.num_clients, sticky_count=3)
+    cfg = base_config(tiny_dataset, sampler=sampler)
+    from repro.fl.server import FLServer
+
+    with pytest.raises(ValueError, match="sticky group"):
+        FLServer(cfg)

@@ -1,0 +1,76 @@
+import math
+
+import pytest
+
+from repro.network.encoding import (
+    BYTES_PER_VALUE,
+    bitmap_bytes,
+    dense_bytes,
+    golomb_position_bytes,
+    index_bytes,
+    sparse_bytes,
+    values_bytes,
+)
+
+
+def test_dense_bytes():
+    assert dense_bytes(1000) == 4000
+    assert BYTES_PER_VALUE == 4
+
+
+def test_bitmap_bytes_rounds_up():
+    assert bitmap_bytes(8) == 1
+    assert bitmap_bytes(9) == 2
+    assert bitmap_bytes(1_000_000) == 125_000
+
+
+def test_index_bytes_width_grows_with_d():
+    assert index_bytes(10, 200) == 10 * 1  # 1-byte indices suffice for d<=256
+    assert index_bytes(10, 70_000) == 10 * 3
+    assert index_bytes(10, 5_000_000) == 10 * 3
+    assert index_bytes(10, 2**25) == 10 * 4
+
+
+def test_sparse_bytes_picks_cheapest_addressing():
+    d = 80_000
+    # very sparse: indices win over bitmap
+    k = 10
+    assert sparse_bytes(k, d) == values_bytes(k) + index_bytes(k, d)
+    # dense-ish: bitmap wins
+    k = 40_000
+    assert sparse_bytes(k, d) == values_bytes(k) + bitmap_bytes(d)
+
+
+def test_sparse_bytes_never_exceeds_dense():
+    d = 1000
+    for k in range(0, d + 1, 97):
+        assert sparse_bytes(k, d) <= dense_bytes(d)
+
+
+def test_sparse_bytes_zero():
+    assert sparse_bytes(0, 100) == 0
+
+
+def test_sparse_bytes_validation():
+    with pytest.raises(ValueError):
+        sparse_bytes(5, 3)
+    with pytest.raises(ValueError):
+        sparse_bytes(-1, 3)
+
+
+def test_golomb_entropy_bound():
+    d = 10_000
+    k = 1000
+    p = k / d
+    entropy = -(p * math.log2(p) + (1 - p) * math.log2(1 - p))
+    assert golomb_position_bytes(k, d) == math.ceil(d * entropy / 8)
+
+
+def test_golomb_cheaper_than_bitmap_for_sparse():
+    d = 100_000
+    assert golomb_position_bytes(d // 100, d) < bitmap_bytes(d)
+
+
+def test_golomb_edge_cases():
+    assert golomb_position_bytes(0, 100) == 0
+    assert golomb_position_bytes(100, 100) == 0

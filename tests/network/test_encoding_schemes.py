@@ -1,0 +1,45 @@
+import pytest
+
+from repro.network.encoding import (
+    bitmap_bytes,
+    golomb_position_bytes,
+    index_bytes,
+    sparse_bytes,
+    values_bytes,
+)
+
+
+def test_forced_schemes_match_components():
+    k, d = 1000, 100_000
+    assert sparse_bytes(k, d, "bitmap") == values_bytes(k) + bitmap_bytes(d)
+    assert sparse_bytes(k, d, "index") == values_bytes(k) + index_bytes(k, d)
+    assert (
+        sparse_bytes(k, d, "golomb")
+        == values_bytes(k) + golomb_position_bytes(k, d)
+    )
+
+
+def test_auto_is_min_of_bitmap_index():
+    k, d = 1000, 100_000
+    assert sparse_bytes(k, d, "auto") == min(
+        sparse_bytes(k, d, "bitmap"), sparse_bytes(k, d, "index")
+    )
+
+
+def test_golomb_never_worse_than_auto_beyond_trivial_k():
+    """The entropy bound beats bitmap/index addressing except for a
+    handful of positions, where whole-byte index rounding wins by a byte."""
+    d = 50_000
+    for k in (50, 500, 5_000, 25_000, 50_000):
+        assert sparse_bytes(k, d, "golomb") <= sparse_bytes(k, d, "auto")
+
+
+def test_dense_fallback_applies_to_all_schemes():
+    d = 100
+    for scheme in ("auto", "bitmap", "index", "golomb"):
+        assert sparse_bytes(d, d, scheme) <= 4 * d + 13  # ~dense size
+
+
+def test_unknown_scheme():
+    with pytest.raises(ValueError, match="unknown addressing scheme"):
+        sparse_bytes(10, 100, "huffman")

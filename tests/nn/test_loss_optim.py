@@ -1,0 +1,179 @@
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    ConstantLR,
+    CrossEntropyLoss,
+    ExponentialDecay,
+    MSELoss,
+    SGD,
+    StepDecay,
+)
+from repro.nn.module import Parameter
+
+
+# ---------------------------------------------------------------- losses
+def test_cross_entropy_uniform_logits():
+    loss = CrossEntropyLoss()
+    val = loss(np.zeros((4, 10)), np.arange(4) % 10)
+    assert val == pytest.approx(np.log(10))
+
+
+def test_cross_entropy_gradient_matches_softmax_minus_onehot(rng):
+    loss = CrossEntropyLoss()
+    logits = rng.normal(size=(6, 5))
+    y = rng.integers(0, 5, 6)
+    loss(logits, y)
+    g = loss.backward()
+    from repro.nn.functional import one_hot, softmax
+
+    expected = (softmax(logits) - one_hot(y, 5)) / 6
+    np.testing.assert_allclose(g, expected, atol=1e-12)
+
+
+def test_cross_entropy_label_smoothing_lower_bound(rng):
+    plain = CrossEntropyLoss()
+    smooth = CrossEntropyLoss(label_smoothing=0.2)
+    logits = rng.normal(size=(8, 5)) * 5
+    y = rng.integers(0, 5, 8)
+    # smoothing penalizes over-confident correct predictions
+    confident = np.zeros((8, 5))
+    confident[np.arange(8), y] = 20.0
+    assert smooth(confident, y) > plain(confident, y)
+
+
+def test_cross_entropy_numeric_gradient(rng):
+    loss = CrossEntropyLoss(label_smoothing=0.1)
+    logits = rng.normal(size=(3, 4))
+    y = np.array([0, 2, 3])
+    loss(logits, y)
+    g = loss.backward()
+    eps = 1e-7
+    for i, j in [(0, 0), (1, 2), (2, 1)]:
+        lp = logits.copy()
+        lp[i, j] += eps
+        lm = logits.copy()
+        lm[i, j] -= eps
+        num = (loss(lp, y) - loss(lm, y)) / (2 * eps)
+        assert num == pytest.approx(g[i, j], rel=1e-5)
+
+
+def test_mse_loss_and_gradient(rng):
+    loss = MSELoss()
+    pred = rng.normal(size=(4, 3))
+    tgt = rng.normal(size=(4, 3))
+    val = loss(pred, tgt)
+    assert val == pytest.approx(((pred - tgt) ** 2).mean())
+    np.testing.assert_allclose(
+        loss.backward(), 2 * (pred - tgt) / pred.size, atol=1e-12
+    )
+
+
+def test_mse_shape_mismatch():
+    with pytest.raises(ValueError):
+        MSELoss()(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+def test_backward_before_forward_raises():
+    with pytest.raises(RuntimeError):
+        CrossEntropyLoss().backward()
+    with pytest.raises(RuntimeError):
+        MSELoss().backward()
+
+
+# ---------------------------------------------------------------- SGD
+def test_sgd_plain_step():
+    p = Parameter(np.array([1.0, 2.0]))
+    p.grad[:] = [0.5, -0.5]
+    SGD([p], lr=0.1).step()
+    np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+
+def test_sgd_momentum_matches_pytorch_formula():
+    """buf = m*buf + g; p -= lr*buf (PyTorch semantics)."""
+    p = Parameter(np.array([0.0]))
+    opt = SGD([p], lr=1.0, momentum=0.9)
+    expected = 0.0
+    buf = 0.0
+    for _ in range(5):
+        p.grad[:] = 1.0
+        opt.step()
+        buf = 0.9 * buf + 1.0
+        expected -= buf
+        assert p.data[0] == pytest.approx(expected)
+
+
+def test_sgd_weight_decay():
+    p = Parameter(np.array([2.0]))
+    p.grad[:] = 0.0
+    SGD([p], lr=0.1, weight_decay=0.5).step()
+    # g = 0 + 0.5 * 2 = 1; p -= 0.1
+    assert p.data[0] == pytest.approx(1.9)
+
+
+def test_sgd_nesterov_differs_from_plain_momentum():
+    p1 = Parameter(np.array([0.0]))
+    p2 = Parameter(np.array([0.0]))
+    o1 = SGD([p1], lr=0.1, momentum=0.9)
+    o2 = SGD([p2], lr=0.1, momentum=0.9, nesterov=True)
+    for _ in range(3):
+        p1.grad[:] = 1.0
+        p2.grad[:] = 1.0
+        o1.step()
+        o2.step()
+    assert p2.data[0] < p1.data[0] < 0
+
+
+def test_sgd_reset_state_clears_momentum():
+    p = Parameter(np.array([0.0]))
+    opt = SGD([p], lr=1.0, momentum=0.9)
+    p.grad[:] = 1.0
+    opt.step()
+    opt.reset_state()
+    p.grad[:] = 1.0
+    opt.step()
+    # without history the second step is a plain -1.0
+    assert p.data[0] == pytest.approx(-2.0)
+
+
+def test_sgd_validation():
+    with pytest.raises(ValueError):
+        SGD([], lr=-1.0)
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1, nesterov=True)
+
+
+def test_sgd_trains_mlp_to_lower_loss(rng):
+    model = MLP(in_features=10, hidden=(16,), num_classes=3, rng=rng)
+    x = rng.normal(size=(64, 10))
+    y = rng.integers(0, 3, 64)
+    loss = CrossEntropyLoss()
+    opt = SGD(model.parameters(), lr=0.2, momentum=0.9)
+    first = loss(model(x), y)
+    for _ in range(30):
+        opt.zero_grad()
+        val = loss(model(x), y)
+        model.backward(loss.backward())
+        opt.step()
+    assert val < first * 0.5
+
+
+# ---------------------------------------------------------------- schedules
+def test_exponential_decay_paper_rule():
+    sched = ExponentialDecay(0.05, decay=0.98, every=10)
+    assert sched.at_round(0) == pytest.approx(0.05)
+    assert sched.at_round(9) == pytest.approx(0.05)
+    assert sched.at_round(10) == pytest.approx(0.05 * 0.98)
+    assert sched.at_round(25) == pytest.approx(0.05 * 0.98**2)
+
+
+def test_constant_lr():
+    assert ConstantLR(0.1).at_round(100) == 0.1
+
+
+def test_step_decay():
+    sched = StepDecay(0.1, {50: 0.01, 100: 0.001})
+    assert sched.at_round(0) == 0.1
+    assert sched.at_round(50) == 0.01
+    assert sched.at_round(150) == 0.001

@@ -1,0 +1,106 @@
+"""Edge-case coverage for the NN substrate."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Linear,
+    ReLU,
+    Sequential,
+    ShuffleNetLite,
+    build_model,
+)
+from repro.nn.functional import im2col
+from repro.nn.flat import FlatParamView, snapshot
+from repro.nn.module import kaiming_init
+
+
+def test_sequential_append(rng):
+    net = Sequential(Linear(4, 4, rng=rng))
+    net.append(ReLU())
+    assert len(net) == 2
+    out = net(rng.normal(size=(2, 4)))
+    assert out.shape == (2, 4)
+    # appended layer's params (none for ReLU) and traversal still coherent
+    names = [n for n, _ in net.named_parameters()]
+    assert names == ["layer0.weight", "layer0.bias"]
+
+
+def test_im2col_view_is_readonly(rng):
+    cols = im2col(rng.normal(size=(1, 1, 4, 4)), 2, 2, 1, 0)
+    with pytest.raises((ValueError, RuntimeError)):
+        cols[0, 0, 0, 0, 0, 0] = 1.0
+
+
+def test_conv_output_shapes():
+    cases = [
+        # (H, k, stride, pad) -> OH
+        (28, 3, 1, 1, 28),
+        (28, 3, 2, 1, 14),
+        (14, 3, 2, 1, 7),
+        (7, 3, 2, 1, 4),
+        (9, 2, 2, 0, 4),
+    ]
+    rng = np.random.default_rng(0)
+    for h, k, s, p, expected in cases:
+        conv = Conv2d(1, 1, k, stride=s, padding=p, rng=rng)
+        out = conv(rng.normal(size=(1, 1, h, h)))
+        assert out.shape[-1] == expected, (h, k, s, p)
+
+
+def test_bn_num_batches_tracked_counts():
+    bn = BatchNorm2d(2)
+    x = np.random.default_rng(0).normal(size=(2, 2, 3, 3))
+    for _ in range(5):
+        bn(x)
+    assert bn.num_batches_tracked.data[0] == 5
+    bn.eval()
+    bn(x)
+    assert bn.num_batches_tracked.data[0] == 5  # eval doesn't count
+
+
+def test_kaiming_init_statistics(rng):
+    w = kaiming_init((1000, 500), fan_in=500, rng=rng)
+    assert abs(w.std() - np.sqrt(2.0 / 500)) < 0.005
+    assert abs(w.mean()) < 0.01
+
+
+def test_snapshot_helper(rng):
+    model = build_model("cnn", in_channels=1, num_classes=3, image_size=8, rng=rng)
+    params, buffers = snapshot(model)
+    view = FlatParamView(model)
+    np.testing.assert_array_equal(params, view.get_flat())
+    np.testing.assert_array_equal(buffers, view.get_buffers_flat())
+
+
+def test_shufflenet_rejects_bad_config(rng):
+    with pytest.raises(ValueError):
+        ShuffleNetLite(stem_channels=7, groups=2, rng=rng)
+    with pytest.raises(ValueError):
+        ShuffleNetLite(stage_widths=(16,), stage_repeats=(1, 1), rng=rng)
+
+
+def test_model_kwargs_reach_builders(rng):
+    model = build_model(
+        "mlp", in_channels=1, num_classes=3, image_size=8, rng=rng,
+        hidden=(5, 6),
+    )
+    sizes = [p.shape for p in model.parameters()]
+    assert (5, 64) in sizes and (6, 5) in sizes
+
+
+def test_large_scale_scenarios_build_datasets():
+    """The paper-faithful presets must at least construct their federations."""
+    from repro.experiments import get_scenario
+
+    for name in (
+        "femnist-shufflenet-large",
+        "speech-resnet-large",
+        "openimage-mobilenet-large",
+    ):
+        scenario = get_scenario(name)
+        dataset = scenario.dataset(seed=0)
+        assert dataset.num_clients > scenario.k * 4
+        assert scenario.model_name in ("shufflenet", "mobilenet", "resnet")

@@ -1,0 +1,66 @@
+"""Hypothesis properties of the samplers under random configurations."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl.samplers import StickySampler, UniformSampler
+
+
+@st.composite
+def sticky_configs(draw):
+    k = draw(st.integers(2, 12))
+    c = draw(st.integers(1, k))
+    s = draw(st.integers(max(c, k), 4 * k))
+    n = draw(st.integers(s + k + 1, s + 10 * k))
+    return n, k, s, c
+
+
+@given(sticky_configs(), st.floats(1.0, 2.0), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_sticky_draw_invariants(config, overcommit, seed):
+    n, k, s, c = config
+    sampler = StickySampler(k, group_size=s, sticky_count=c)
+    sampler.setup(n, np.random.default_rng(seed))
+    available = np.ones(n, dtype=bool)
+    for t in range(3):
+        draw = sampler.draw(t, available, overcommit)
+        # buckets are disjoint and within bounds
+        assert not set(draw.sticky) & set(draw.nonsticky)
+        assert len(np.unique(draw.candidates)) == len(draw.candidates)
+        assert draw.candidates.max(initial=-1) < n
+        # quotas never exceed candidates or K
+        assert draw.quota_sticky <= len(draw.sticky)
+        assert draw.quota_nonsticky <= len(draw.nonsticky)
+        assert draw.quota_total <= k
+        # sticky candidates really are group members
+        group = set(sampler.sticky_group.tolist())
+        assert set(draw.sticky) <= group
+        assert not set(draw.nonsticky) & group
+        # rebalance keeps the group size constant and unique
+        sampler.complete_round(
+            draw.sticky[: draw.quota_sticky],
+            draw.nonsticky[: draw.quota_nonsticky],
+        )
+        assert len(sampler.sticky_group) == s
+        assert len(np.unique(sampler.sticky_group)) == s
+
+
+@given(
+    st.integers(1, 20),
+    st.integers(0, 2**31 - 1),
+    st.floats(1.0, 2.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_uniform_draw_invariants(k, seed, overcommit):
+    rng = np.random.default_rng(seed)
+    n = k + int(rng.integers(1, 100))
+    sampler = UniformSampler(k)
+    sampler.setup(n, rng)
+    available = rng.random(n) < 0.7
+    if not available.any():
+        available[0] = True
+    draw = sampler.draw(1, available, overcommit)
+    assert len(np.unique(draw.nonsticky)) == len(draw.nonsticky)
+    assert draw.quota_nonsticky <= min(k, len(draw.nonsticky))
+    assert available[draw.nonsticky].all()

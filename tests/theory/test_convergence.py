@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.theory import (
+    convergence_bound,
+    prescribed_learning_rate,
+    variance_amplification,
+)
+
+
+def uniform_p(n):
+    return np.full(n, 1.0 / n)
+
+
+def test_a_term_fedavg_limit():
+    """§4.2: with p_i = 1/N and a single bucket, A = 1."""
+    n, k = 100, 10
+    # degenerate sticky config: everything sampled from the 'non-sticky' side
+    a = variance_amplification(n, k, s=0, c=0, p=uniform_p(n))
+    assert a == pytest.approx(1.0)
+
+
+def test_a_term_paper_configuration():
+    n, k, s, c = 2800, 30, 120, 24
+    a = variance_amplification(n, k, s, c, uniform_p(n))
+    expected = (k / n) * (s**2 / c + (n - s) ** 2 / (k - c)) / n
+    assert a == pytest.approx(expected)
+    assert a > 1.0  # sticky sampling pays a variance cost
+
+
+def test_a_term_grows_with_skewed_weights():
+    n, k, s, c = 100, 10, 40, 8
+    skewed = np.zeros(n)
+    skewed[0] = 0.9
+    skewed[1:] = 0.1 / (n - 1)
+    assert variance_amplification(n, k, s, c, skewed) > variance_amplification(
+        n, k, s, c, uniform_p(n)
+    )
+
+
+def test_a_term_validation():
+    with pytest.raises(ValueError):
+        variance_amplification(10, 5, 4, 2, np.full(9, 1 / 9))
+    with pytest.raises(ValueError):
+        variance_amplification(10, 5, 4, 2, np.full(10, 0.2))  # sum != 1
+
+
+def test_learning_rate_formula():
+    gamma = prescribed_learning_rate(k=30, t=1000, a=2.0, local_steps=10, sigma2=1.0)
+    assert gamma == pytest.approx(np.sqrt(30 / (10 * 11 * 1000 * 2.0)))
+
+
+def test_learning_rate_shrinks_with_t():
+    g1 = prescribed_learning_rate(30, 100, 1.0, 10, 1.0)
+    g2 = prescribed_learning_rate(30, 10_000, 1.0, 10, 1.0)
+    assert g2 < g1
+
+
+def test_learning_rate_validation():
+    with pytest.raises(ValueError):
+        prescribed_learning_rate(0, 10, 1.0, 5, 1.0)
+    with pytest.raises(ValueError):
+        prescribed_learning_rate(5, 10, -1.0, 5, 1.0)
+
+
+def test_bound_decreases_with_rounds():
+    n, k, s, c = 100, 10, 40, 8
+    p = uniform_p(n)
+    b1 = convergence_bound(n, k, s, c, p, t=100, local_steps=10)
+    b2 = convergence_bound(n, k, s, c, p, t=10_000, local_steps=10)
+    assert b2 < b1
+
+
+def test_bound_sqrt_rate():
+    """Eq. 9's leading term decays like 1/sqrt(T)."""
+    n, k, s, c = 100, 10, 40, 8
+    p = uniform_p(n)
+    b1 = convergence_bound(n, k, s, c, p, t=10_000, local_steps=10)
+    b2 = convergence_bound(n, k, s, c, p, t=40_000, local_steps=10)
+    assert b2 == pytest.approx(b1 / 2, rel=0.15)
+
+
+def test_bound_validation():
+    with pytest.raises(ValueError):
+        convergence_bound(10, 5, 4, 2, uniform_p(10), t=0, local_steps=5)

@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+
+from repro.theory import (
+    sticky_advantage_horizon,
+    sticky_expected_gap,
+    sticky_resample_prob,
+    uniform_expected_gap,
+    uniform_resample_prob,
+)
+
+
+def test_uniform_probabilities_sum_to_one():
+    total = uniform_resample_prob(100, 10, np.arange(1, 500)).sum()
+    assert total == pytest.approx(1.0, abs=1e-6)
+
+
+def test_uniform_expected_gap():
+    assert uniform_expected_gap(2800, 30) == pytest.approx(2800 / 30)
+
+
+def test_paper_case_study_values():
+    """§3.1: N=2800, K=30, S=120, C=24 → 20.0%, 15.0%, 11.2%, 8.5%, 6.4%, 4.8%."""
+    probs = sticky_resample_prob(2800, 30, 120, 24, np.arange(1, 7))
+    paper = [0.200, 0.150, 0.112, 0.085, 0.064, 0.048]
+    np.testing.assert_allclose(probs, paper, atol=0.002)
+
+
+def test_paper_uniform_case_study():
+    """§3.1: uniform re-samples at ~1.1% with those parameters."""
+    assert uniform_resample_prob(2800, 30, 1) == pytest.approx(0.0107, abs=1e-3)
+
+
+def test_sticky_probabilities_sum_to_one():
+    total = sticky_resample_prob(280, 10, 40, 8, np.arange(1, 3000)).sum()
+    assert total == pytest.approx(1.0, abs=1e-6)
+
+
+def test_sticky_expected_gap_equals_n_over_k():
+    """Proposition 2's punchline: the mean gap matches uniform sampling."""
+    for n, k, s, c in [(2800, 30, 120, 24), (280, 10, 40, 8), (100, 10, 20, 5)]:
+        assert sticky_expected_gap(n, k, s, c) == pytest.approx(
+            n / k, rel=1e-9
+        )
+
+
+def test_sticky_beats_uniform_early():
+    n, k, s, c = 2800, 30, 120, 24
+    early = sticky_resample_prob(n, k, s, c, 1)
+    assert early > 10 * uniform_resample_prob(n, k, 1)
+
+
+def test_sticky_matches_monte_carlo():
+    """Simulate the Markov chain of Algorithm 2 from Appendix A.2's proof."""
+    rng = np.random.default_rng(0)
+    n, k, s, c = 120, 6, 24, 4
+    trials = 60_000
+    horizon = 10
+    counts = np.zeros(horizon)
+    for _ in range(trials):
+        in_sticky = True
+        for r in range(1, horizon + 1):
+            if in_sticky:
+                u = rng.random()
+                if u < c / s:
+                    counts[r - 1] += 1
+                    break
+                if u < k / s:  # moved out during rebalance
+                    in_sticky = False
+            else:
+                if rng.random() < (k - c) / (n - s):
+                    counts[r - 1] += 1
+                    break
+    mc = counts / trials
+    theory = sticky_resample_prob(n, k, s, c, np.arange(1, horizon + 1))
+    np.testing.assert_allclose(mc, theory, atol=0.006)
+
+
+def test_advantage_horizon_positive_for_paper_setup():
+    horizon = sticky_advantage_horizon(2800, 30, 120, 24)
+    assert horizon >= 6  # covers the case-study window
+    # and within the horizon the sticky bound indeed beats uniform
+    r = np.arange(1, horizon + 1)
+    lower_bound = (24 / 120) * (1 - 30 / 120) ** (r - 1)
+    uniform = uniform_resample_prob(2800, 30, r)
+    assert (lower_bound >= uniform - 1e-12).all()
+
+
+def test_advantage_horizon_zero_when_no_advantage():
+    # C/S == K/N -> no advantage
+    assert sticky_advantage_horizon(100, 10, 50, 5) == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        uniform_resample_prob(10, 0, 1)
+    with pytest.raises(ValueError):
+        uniform_resample_prob(10, 5, 0)
+    with pytest.raises(ValueError):
+        sticky_resample_prob(100, 10, 5, 8, 1)  # S < C
+    with pytest.raises(ValueError):
+        sticky_resample_prob(100, 20, 10, 5, 1)  # S < K
+    with pytest.raises(ValueError):
+        sticky_resample_prob(100, 10, 95, 5, 1)  # K-C > N-S

@@ -1,0 +1,38 @@
+import io
+import json
+
+import numpy as np
+
+from repro.utils.logging import RunLogger
+
+
+def test_buffering_and_filter():
+    log = RunLogger()
+    log.log("eval", round=1, acc=0.5)
+    log.log("round", round=1)
+    log.log("eval", round=2, acc=0.6)
+    assert len(log.events) == 3
+    assert [e["round"] for e in log.filter("eval")] == [1, 2]
+
+
+def test_echo_writes_to_stream():
+    stream = io.StringIO()
+    log = RunLogger(echo=True, stream=stream)
+    log.log("eval", acc=0.9)
+    assert "eval" in stream.getvalue()
+    assert "acc=0.9" in stream.getvalue()
+
+
+def test_to_json_handles_numpy_scalars():
+    log = RunLogger()
+    log.log("x", value=np.float64(0.25), arr=np.array([1, 2]))
+    parsed = json.loads(log.to_json())
+    assert parsed[0]["value"] == 0.25
+    assert parsed[0]["arr"] == [1, 2]
+
+
+def test_clear():
+    log = RunLogger()
+    log.log("x")
+    log.clear()
+    assert log.events == []

@@ -1,0 +1,42 @@
+import pytest
+
+from repro.utils.registry import Registry
+
+
+def test_register_and_get():
+    reg: Registry[int] = Registry("thing")
+    reg.add("one", 1)
+    assert reg.get("one") == 1
+    assert "one" in reg
+    assert len(reg) == 1
+
+
+def test_decorator_registration():
+    reg: Registry[type] = Registry("klass")
+
+    @reg.register("a")
+    class A:
+        pass
+
+    assert reg.get("a") is A
+
+
+def test_duplicate_rejected():
+    reg: Registry[int] = Registry("thing")
+    reg.add("x", 1)
+    with pytest.raises(KeyError):
+        reg.add("x", 2)
+
+
+def test_unknown_key_error_lists_known():
+    reg: Registry[int] = Registry("thing")
+    reg.add("alpha", 1)
+    with pytest.raises(KeyError, match="alpha"):
+        reg.get("beta")
+
+
+def test_iteration_sorted():
+    reg: Registry[int] = Registry("thing")
+    reg.add("b", 2)
+    reg.add("a", 1)
+    assert list(reg) == ["a", "b"]

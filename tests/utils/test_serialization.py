@@ -1,0 +1,52 @@
+import numpy as np
+
+from repro.fl.metrics import RoundRecord, RunResult
+from repro.utils.serialization import load_run, save_run
+
+
+def make_result():
+    result = RunResult(meta={"strategy": "gluefl", "d": 100})
+    for t in (1, 2):
+        result.append(
+            RoundRecord(
+                round_idx=t,
+                down_bytes=100 * t,
+                up_bytes=40 * t,
+                round_seconds=1.5,
+                download_seconds=0.5,
+                compute_seconds=0.5,
+                upload_seconds=0.5,
+                num_candidates=13,
+                num_participants=10,
+                mean_stale_fraction=0.25,
+                train_loss=2.0,
+                accuracy=0.5 if t == 2 else None,
+                sync_details=[(3, 5, 400)] if t == 2 else None,
+            )
+        )
+    return result
+
+
+def test_roundtrip(tmp_path):
+    result = make_result()
+    path = tmp_path / "run.json"
+    save_run(result, path)
+    loaded = load_run(path)
+    assert loaded.meta == result.meta
+    assert loaded.num_rounds == 2
+    np.testing.assert_array_equal(
+        loaded.series("down_bytes"), result.series("down_bytes")
+    )
+    assert loaded.records[1].accuracy == 0.5
+    assert loaded.records[1].sync_details == [(3, 5, 400)]
+    assert loaded.records[0].sync_details is None
+
+
+def test_loaded_result_supports_reports(tmp_path):
+    result = make_result()
+    path = tmp_path / "run.json"
+    save_run(result, path)
+    loaded = load_run(path)
+    report = loaded.report(target_accuracy=0.4, window=1)
+    assert report.reached_target
+    assert report.dv_gb == result.report(0.4, window=1).dv_gb
