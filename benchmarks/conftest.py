@@ -10,6 +10,25 @@ regenerating the artifact.
 
 from __future__ import annotations
 
+import pathlib
+
+import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as ``bench``.
+
+    The repo-root ``pytest.ini`` deselects ``bench`` by default, so tier-1
+    collects these files (catching import/API breaks) without paying for
+    the expensive simulations.  (The hook sees the whole session's items —
+    filter to this directory.)
+    """
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark and return its result."""

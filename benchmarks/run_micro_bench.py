@@ -1,0 +1,189 @@
+"""Dump the micro/e2e performance numbers to ``BENCH_micro.json``.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/run_micro_bench.py [--out BENCH_micro.json]
+        [--seed-src PATH] [--rounds 20] [--repeats 3]
+
+Times the same hot paths as ``bench_micro_ops.py`` (plain
+``time.perf_counter`` medians, no pytest needed) plus the end-to-end
+quickstart-scale run (K=10, CNN) on every backend/dtype combination, and
+writes one JSON blob so the performance trajectory is tracked across PRs.
+
+``--seed-src`` points at an older checkout's ``src/`` directory (e.g. a
+``git worktree`` of the seed commit); the same e2e workload is then timed
+in a subprocess against that version and recorded as the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.compression.base import ClientPayload, weighted_dense_sum
+from repro.compression.topk import top_k_indices
+from repro.nn import Conv2d, Sequential
+
+D = 5_000_000
+
+E2E_SNIPPET = """\
+import json, sys, time
+from repro.core import make_gluefl
+from repro.datasets import femnist_like
+from repro.fl import RunConfig, run_training
+
+rounds = int(sys.argv[1])
+extra = json.loads(sys.argv[2])
+dataset = femnist_like(num_clients=100, num_classes=10, image_size=16,
+                       samples_per_client=32, seed=0)
+strategy, sampler = make_gluefl(10, q=0.20, q_shr=0.16, regen_interval=10)
+config = RunConfig(dataset=dataset, model_name="cnn", strategy=strategy,
+                   sampler=sampler, rounds=rounds, local_steps=5, seed=7,
+                   **extra)
+t0 = time.perf_counter()
+result = run_training(config)
+print(json.dumps({"seconds": time.perf_counter() - t0,
+                  "final_accuracy": result.final_accuracy()}))
+"""
+
+
+def timed(fn, repeats: int) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    fn()  # warm-up
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def micro_ops(repeats: int) -> dict:
+    out = {}
+    rng = np.random.default_rng(0)
+    vec = rng.normal(size=D)
+    out["topk_5m_s"] = timed(lambda: top_k_indices(vec, D // 10), repeats)
+
+    payloads = []
+    keep = D // 10
+    for i in range(30):
+        idx = np.sort(rng.choice(D, size=keep, replace=False))
+        payloads.append(
+            (i, 1 / 30, ClientPayload(0, {"idx": idx, "vals": rng.normal(size=keep)}))
+        )
+
+    def concat_bincount():
+        idx = np.concatenate([p.data["idx"] for _, _, p in payloads])
+        vals = np.concatenate([w * p.data["vals"] for _, w, p in payloads])
+        return np.bincount(idx, weights=vals, minlength=D)
+
+    out["aggregate_scatter_k30_5m_s"] = timed(
+        lambda: weighted_dense_sum(payloads, D), repeats
+    )
+    out["aggregate_bincount_k30_5m_s"] = timed(concat_bincount, repeats)
+
+    for dtype, label in ((np.float64, "f64"), (np.float32, "f32")):
+        model = Sequential(
+            Conv2d(8, 16, 3, padding=1, rng=np.random.default_rng(3), dtype=dtype),
+            Conv2d(16, 16, 3, padding=1, groups=16,
+                   rng=np.random.default_rng(4), dtype=dtype),
+        )
+        x = np.random.default_rng(5).normal(size=(16, 8, 14, 14)).astype(dtype)
+
+        def step():
+            o = model(x)
+            model.backward(np.ones_like(o) / o.size)
+
+        out[f"conv_step_{label}_s"] = timed(step, max(repeats, 10))
+    return out
+
+
+def e2e(python_path: str, rounds: int, extra: dict) -> dict:
+    """Run the quickstart-scale workload in a subprocess and parse its JSON."""
+    proc = subprocess.run(
+        [sys.executable, "-c", E2E_SNIPPET, str(rounds), json.dumps(extra)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": python_path, "PATH": "/usr/bin:/bin"},
+        check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_micro.json")
+    parser.add_argument("--rounds", type=int, default=20)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--seed-src",
+        default=None,
+        help="src/ dir of an older checkout to time as the e2e baseline",
+    )
+    args = parser.parse_args()
+    if args.seed_src and not (Path(args.seed_src) / "repro").is_dir():
+        parser.error(
+            f"--seed-src {args.seed_src!r} does not contain a repro/ package"
+        )
+
+    here = str(Path(__file__).resolve().parent.parent / "src")
+    report = {
+        "workload": {
+            "e2e": "GlueFL K=10, CNN, femnist_like(100 clients), "
+            f"{args.rounds} rounds, local_steps=5",
+            "d_micro": D,
+        },
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": __import__("os").cpu_count(),
+        },
+        "micro": micro_ops(args.repeats),
+        "e2e": {},
+    }
+
+    combos = [
+        ("serial_float64", {"execution_backend": "serial", "dtype": "float64"}),
+        ("serial_float32", {"execution_backend": "serial", "dtype": "float32"}),
+        ("process_float32", {"execution_backend": "process", "dtype": "float32"}),
+    ]
+    for label, extra in combos:
+        samples = [
+            e2e(here, args.rounds, extra) for _ in range(max(1, args.repeats - 1))
+        ]
+        report["e2e"][label] = {
+            "seconds": statistics.median(s["seconds"] for s in samples),
+            "final_accuracy": samples[0]["final_accuracy"],
+        }
+
+    if args.seed_src:
+        samples = [
+            e2e(args.seed_src, args.rounds, {})
+            for _ in range(max(1, args.repeats - 1))
+        ]
+        report["e2e"]["seed_serial_float64"] = {
+            "seconds": statistics.median(s["seconds"] for s in samples),
+            "final_accuracy": samples[0]["final_accuracy"],
+            "src": args.seed_src,
+        }
+        report["speedup_vs_seed"] = round(
+            report["e2e"]["seed_serial_float64"]["seconds"]
+            / report["e2e"]["process_float32"]["seconds"],
+            2,
+        )
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -75,12 +75,12 @@ class APFStrategy(CompressionStrategy):
         self._ema_abs: np.ndarray = np.zeros(0)
         self._round: int = 0
 
-    def setup(self, d: int, rng: np.random.Generator) -> None:
-        super().setup(d, rng)
+    def setup(self, d: int, rng: np.random.Generator, dtype=np.float64) -> None:
+        super().setup(d, rng, dtype=dtype)
         self._frozen_until = np.zeros(d, dtype=np.int64)
         self._freeze_len = np.zeros(d, dtype=np.int64)
-        self._ema_delta = np.zeros(d)
-        self._ema_abs = np.zeros(d)
+        self._ema_delta = np.zeros(d, dtype=self.dtype)
+        self._ema_abs = np.zeros(d, dtype=self.dtype)
 
     # -- round state ------------------------------------------------------------
     def begin_round(self, round_idx: int) -> None:
@@ -122,7 +122,7 @@ class APFStrategy(CompressionStrategy):
         self, payloads: Sequence[Tuple[int, float, ClientPayload]]
     ) -> AggregateResult:
         self._check_setup()
-        global_delta = np.zeros(self.d)
+        global_delta = np.zeros(self.d, dtype=self.dtype)
         active_idx = None
         for _, weight, payload in payloads:
             idx = payload.data["idx"]

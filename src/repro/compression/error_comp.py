@@ -50,13 +50,17 @@ class ResidualStore:
         """Return ``delta`` plus the (possibly re-scaled) stored residual.
 
         Implements Eq. 7: ``Δ_i ← Δ_i + (ν^{φ(t)}_i / ν^t_i) · h^{φ(t)}_i``
-        in ``REC`` mode; ``EC`` adds the raw residual; ``NONE`` is identity.
+        in ``REC`` mode; ``EC`` adds the raw residual; ``NONE`` adds
+        nothing.  The returned array is always **owned by the caller** — a
+        fresh allocation, never an alias of ``delta`` — so strategies may
+        zero it in place while splitting sent mass from residual mass
+        without corrupting the caller's delta.
         """
         if self.mode is ErrorCompMode.NONE:
-            return delta
+            return delta.copy()
         h = self._residual.get(client_id)
         if h is None:
-            return delta
+            return delta.copy()
         if self.mode is ErrorCompMode.REC:
             if current_weight <= 0:
                 raise ValueError(
@@ -70,10 +74,14 @@ class ResidualStore:
     def record(
         self, client_id: int, residual: np.ndarray, weight: float
     ) -> None:
-        """Store this participation's residual and the weight it was sent with."""
+        """Store this participation's residual and the weight it was sent with.
+
+        ``residual`` is copied into float32 storage (a no-copy view when it
+        already is float32 — callers hand over ownership).
+        """
         if self.mode is ErrorCompMode.NONE:
             return
-        self._residual[client_id] = residual.astype(np.float32)
+        self._residual[client_id] = residual.astype(np.float32, copy=False)
         self._weight[client_id] = float(weight)
 
     def peek(self, client_id: int) -> Optional[Tuple[np.ndarray, float]]:

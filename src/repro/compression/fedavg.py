@@ -41,7 +41,7 @@ class FedAvgStrategy(CompressionStrategy):
         self, payloads: Sequence[Tuple[int, float, ClientPayload]]
     ) -> AggregateResult:
         self._check_setup()
-        acc = np.zeros(self.d)
+        acc = np.zeros(self.d, dtype=self.dtype)
         for _, weight, payload in payloads:
             acc += weight * payload.data["dense"]
         return AggregateResult(

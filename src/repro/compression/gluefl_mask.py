@@ -85,8 +85,8 @@ class GlueFLMaskStrategy(CompressionStrategy):
         self._k_total: int = 0
         self._k_shr: int = 0
 
-    def setup(self, d: int, rng: np.random.Generator) -> None:
-        super().setup(d, rng)
+    def setup(self, d: int, rng: np.random.Generator, dtype=np.float64) -> None:
+        super().setup(d, rng, dtype=dtype)
         self._k_total = ratio_to_k(self.q, d)
         self._k_shr = ratio_to_k(self.q_shr, d)
         if self._k_total == 0:
@@ -132,18 +132,19 @@ class GlueFLMaskStrategy(CompressionStrategy):
         self._check_setup()
         self._check_delta(delta)
         mask = self._effective_mask()
+        # compensate() returns a caller-owned vector, so it doubles as the
+        # scratch buffer: zeroing the sent coordinates in place turns it
+        # first into the "rest" vector (top-k candidates outside the mask)
+        # and then into the residual — no per-client d-sized copy or
+        # zeros(d) allocation on this path.
         accumulated = self.residuals.compensate(client_id, delta, weight)
 
-        shr_vals = accumulated[mask]
-        rest = accumulated.copy()
-        rest[mask] = 0.0
+        shr_vals = accumulated[mask]  # fancy indexing copies
+        accumulated[mask] = 0.0
         k_uni = self._k_unique()
-        uni_idx, uni_vals = sparsify_top_k(rest, k_uni)
-
-        sent = np.zeros(self.d)
-        sent[mask] = shr_vals
-        sent[uni_idx] = uni_vals
-        self.residuals.record(client_id, accumulated - sent, weight)
+        uni_idx, uni_vals = sparsify_top_k(accumulated, k_uni)
+        accumulated[uni_idx] = 0.0  # what remains is exactly the residual
+        self.residuals.record(client_id, accumulated, weight)
 
         upstream = values_bytes(len(mask)) + sparse_bytes(k_uni, self.d)
         return ClientPayload(
@@ -158,16 +159,22 @@ class GlueFLMaskStrategy(CompressionStrategy):
         self._check_setup()
         mask = self._effective_mask()
 
-        # Eq. 5: dense aggregation on the shared mask
-        shr_acc = np.zeros(self.d)
+        # Eq. 5: aggregation on the shared mask.  The server knows the mask
+        # positions, so the weighted sum runs on contiguous length-|M|
+        # vectors; nothing dense is materialized per payload.
+        shr_acc = np.zeros(len(mask), dtype=self.dtype)
         for _, weight, payload in payloads:
-            if len(mask):
-                shr_acc[mask] += weight * payload.data["shr_vals"]
+            shr_acc += weight * payload.data["shr_vals"]
 
         # Eq. 6: top-(q - q_shr) of the aggregated unique parts
-        uni_acc = weighted_dense_sum(payloads, self.d)
+        uni_acc = weighted_dense_sum(payloads, self.d, dtype=self.dtype)
         keep = top_k_indices(uni_acc, self._k_unique())
-        global_delta = shr_acc
+        # global_delta is built fresh — it must not alias the shared-mask
+        # accumulator (mask and keep are disjoint, but end_round and
+        # callers treat global_delta as an independently-owned vector)
+        global_delta = np.zeros(self.d, dtype=self.dtype)
+        if len(mask):
+            global_delta[mask] = shr_acc
         global_delta[keep] += uni_acc[keep]
 
         changed = np.union1d(mask, keep).astype(np.int64)

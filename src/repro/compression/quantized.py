@@ -45,10 +45,10 @@ class QuantizedStrategy(CompressionStrategy):
         self._rng: np.random.Generator = np.random.default_rng(0)
 
     # -- delegation --------------------------------------------------------
-    def setup(self, d: int, rng: np.random.Generator) -> None:
-        super().setup(d, rng)
+    def setup(self, d: int, rng: np.random.Generator, dtype=np.float64) -> None:
+        super().setup(d, rng, dtype=dtype)
         self._rng = rng
-        self.inner.setup(d, rng)
+        self.inner.setup(d, rng, dtype=dtype)
 
     def begin_round(self, round_idx: int) -> None:
         self.inner.begin_round(round_idx)

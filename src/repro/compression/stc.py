@@ -69,12 +69,12 @@ class STCStrategy(CompressionStrategy):
         self._k: int = 0
         self._server_h: np.ndarray = np.zeros(0)
 
-    def setup(self, d: int, rng: np.random.Generator) -> None:
-        super().setup(d, rng)
+    def setup(self, d: int, rng: np.random.Generator, dtype=np.float64) -> None:
+        super().setup(d, rng, dtype=dtype)
         self._k = ratio_to_k(self.q, d)
         if self._k == 0:
             raise ValueError(f"q={self.q} keeps zero of {d} coordinates")
-        self._server_h = np.zeros(d)
+        self._server_h = np.zeros(d, dtype=self.dtype)
 
     def nominal_upstream_bytes(self) -> int:
         self._check_setup()
@@ -85,11 +85,12 @@ class STCStrategy(CompressionStrategy):
     ) -> ClientPayload:
         self._check_setup()
         self._check_delta(delta)
+        # compensate() returns a caller-owned vector: zero the sent top-k
+        # in place and what remains is the residual (no zeros(d) scratch)
         accumulated = self.residuals.compensate(client_id, delta, weight)
         idx, vals = sparsify_top_k(accumulated, self._k)
-        sent = np.zeros(self.d)
-        sent[idx] = vals
-        self.residuals.record(client_id, accumulated - sent, weight)
+        accumulated[idx] = 0.0
+        self.residuals.record(client_id, accumulated, weight)
         return ClientPayload(
             upstream_bytes=sparse_bytes(self._k, self.d),
             data={"idx": idx, "vals": vals},
@@ -99,11 +100,11 @@ class STCStrategy(CompressionStrategy):
         self, payloads: Sequence[Tuple[int, float, ClientPayload]]
     ) -> AggregateResult:
         self._check_setup()
-        acc = weighted_dense_sum(payloads, self.d)
+        acc = weighted_dense_sum(payloads, self.d, dtype=self.dtype)
         if self.server_residual:
             acc = acc + self._server_h
         keep = top_k_indices(acc, self._k)
-        global_delta = np.zeros(self.d)
+        global_delta = np.zeros(self.d, dtype=self.dtype)
         global_delta[keep] = acc[keep]
         if self.server_residual:
             self._server_h = acc - global_delta

@@ -1,9 +1,12 @@
 """Client-side local training (Algorithm 2/3 lines 8–14).
 
-The simulator is serial, so one shared model instance is reused for every
-client: load the global state, run ``E`` local SGD steps on the client's
-shard, and return the parameter delta ``Δ_i = w^{t,E}_i − w^t`` plus the
-batch-norm buffer delta (Appendix D, Eq. 49).
+One trainer owns one model instance (the serial backend reuses a single
+shared instance for every client; parallel backends give each worker its
+own replica + trainer): load the global state, run ``E`` local SGD steps on
+the client's shard, and return the parameter delta
+``Δ_i = w^{t,E}_i − w^t`` plus the batch-norm buffer delta (Appendix D,
+Eq. 49).  Mini-batch features are cast once per batch to the model's
+parameter dtype, so a float32 run never silently up-casts to float64.
 """
 
 from __future__ import annotations
@@ -58,6 +61,7 @@ class LocalTrainer:
             raise ValueError("local_steps must be positive")
         self.model = model
         self.view = FlatParamView(model)
+        self.dtype = self.view.dtype
         self.local_steps = local_steps
         self.batch_size = batch_size
         self.momentum = momentum
@@ -89,7 +93,7 @@ class LocalTrainer:
             self.batch_size, rng, num_batches=self.local_steps
         ):
             optimizer.zero_grad()
-            logits = self.model(xb)
+            logits = self.model(xb.astype(self.dtype, copy=False))
             losses.append(self.loss(logits, yb))
             self.model.backward(self.loss.backward())
             optimizer.step()
@@ -97,7 +101,7 @@ class LocalTrainer:
         if self.view.num_buffer:
             buffer_delta = self.view.get_buffers_flat() - global_buffers
         else:
-            buffer_delta = np.zeros(0)
+            buffer_delta = np.zeros(0, dtype=self.dtype)
         return LocalResult(
             delta=delta,
             buffer_delta=buffer_delta,

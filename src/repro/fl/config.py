@@ -20,6 +20,19 @@ class RunConfig:
     The defaults follow the paper's §5.1 training parameters: 10 local
     updates, SGD momentum 0.9, exponential LR decay 0.98 every 10 rounds,
     over-commitment 1.3.
+
+    Runtime knobs (see :mod:`repro.runtime`):
+
+    * ``execution_backend`` — how participants are trained each round:
+      ``"serial"`` (default), ``"thread"``, or ``"process"``.  All three
+      are bit-identical for the same seed; the parallel backends trade
+      setup cost for wall-clock on multi-core hosts.
+    * ``backend_workers`` — worker count for the parallel backends
+      (default: ``os.cpu_count()``).
+    * ``dtype`` — ``"float64"`` (default) or ``"float32"``; float32 runs
+      the whole hot path (model, training, compression, aggregation) in
+      single precision for a large CPU speedup at FL-irrelevant accuracy
+      cost.
     """
 
     # workload
@@ -60,6 +73,11 @@ class RunConfig:
     # aggregation (Fig. 5 ablation switch)
     weight_mode: str = "unbiased"  # "unbiased" | "equal"
 
+    # runtime policy (repro.runtime)
+    execution_backend: str = "serial"  # "serial" | "thread" | "process"
+    backend_workers: Optional[int] = None
+    dtype: str = "float64"  # "float64" | "float32"
+
     # evaluation
     eval_every: int = 5
     eval_batch: int = 256
@@ -86,6 +104,14 @@ class RunConfig:
             raise ValueError("eval_top_k must be 1 or 5")
         if self.overcommit < 1.0:
             raise ValueError("overcommit must be >= 1.0")
+        if self.execution_backend not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"unknown execution_backend {self.execution_backend!r}"
+            )
+        if self.backend_workers is not None and self.backend_workers <= 0:
+            raise ValueError("backend_workers must be positive")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(f"unknown dtype {self.dtype!r}")
         if self.sampler.k > self.dataset.num_clients:
             raise ValueError(
                 f"K={self.sampler.k} exceeds federation size "

@@ -19,6 +19,7 @@ staleness).  Each round:
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -41,6 +42,8 @@ from repro.network.profiles import get_profile
 from repro.network.transfer import ClientLinks
 from repro.nn.flat import FlatParamView
 from repro.nn.models import build_model
+from repro.runtime.backends import ClientTask, WorkerSpec, create_backend
+from repro.runtime.dtype import resolve_dtype
 from repro.traces.availability import AvailabilityTrace, always_available
 from repro.traces.compute import ComputeTrace
 from repro.utils.logging import RunLogger
@@ -60,12 +63,14 @@ class FLServer:
         self.n = dataset.num_clients
         self.p = dataset.weights()
 
+        self.dtype = resolve_dtype(config.dtype)
         self.model = build_model(
             config.model_name,
             in_channels=dataset.in_channels,
             num_classes=dataset.num_classes,
             image_size=dataset.image_size,
             rng=self.rngs("model-init"),
+            dtype=self.dtype,
             **config.model_kwargs,
         )
         self.view = FlatParamView(self.model)
@@ -74,7 +79,7 @@ class FLServer:
         self.global_buffers = self.view.get_buffers_flat()
 
         self.strategy = config.strategy
-        self.strategy.setup(self.d, self.rngs("strategy"))
+        self.strategy.setup(self.d, self.rngs("strategy"), dtype=self.dtype)
         self.sampler = config.sampler
         self.sampler.setup(self.n, self.rngs("sampler"))
 
@@ -106,6 +111,23 @@ class FLServer:
             momentum=config.momentum,
             weight_decay=config.weight_decay,
         )
+        self._worker_spec = WorkerSpec(
+            model_name=config.model_name,
+            model_kwargs=dict(config.model_kwargs),
+            in_channels=dataset.in_channels,
+            num_classes=dataset.num_classes,
+            image_size=dataset.image_size,
+            local_steps=config.local_steps,
+            batch_size=config.batch_size,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+            seed=config.seed,
+            clients=dataset.clients,
+            dtype=str(self.dtype),
+            d=self.d,
+            num_buffer=self.view.num_buffer,
+        )
+        self._backend = None
         self.lr_schedule = config.lr_schedule()
         self.logger = RunLogger(echo=config.log_echo)
         self.round_idx = 0
@@ -147,7 +169,7 @@ class FLServer:
         for start in range(0, total, cfg.eval_batch):
             xb = dataset.test_x[start : start + cfg.eval_batch]
             yb = dataset.test_y[start : start + cfg.eval_batch]
-            logits = self.model(xb)
+            logits = self.model(xb.astype(self.dtype, copy=False))
             if cfg.eval_top_k == 1:
                 correct += int((logits.argmax(axis=1) == yb).sum())
             else:
@@ -219,32 +241,34 @@ class FLServer:
             self.availability.survives_round(draw.nonsticky),
         )
 
-        # --- local training + compression ---
+        # --- local training (via the execution backend) + compression ---
         nu_s, nu_r = self._weights_for(selection.sticky_ids, selection.nonsticky_ids)
         lr = self.lr_schedule.at_round(t - 1)
+        all_weights = np.concatenate([nu_s, nu_r])
+        tasks = [
+            ClientTask(client_id=int(cid), lr=lr, round_idx=t)
+            for cid in np.concatenate(
+                [selection.sticky_ids, selection.nonsticky_ids]
+            )
+        ]
+        results = self.backend.run_clients(
+            tasks, self.global_params, self.global_buffers
+        )
+
+        # compression + aggregation stay in the server process, in task
+        # order, so every backend is bit-identical to serial execution
         payloads: List[Tuple[int, float, ClientPayload]] = []
         buffer_deltas = []
         up_bytes_total = 0
         losses = []
-        for ids, weights in (
-            (selection.sticky_ids, nu_s),
-            (selection.nonsticky_ids, nu_r),
-        ):
-            for cid, weight in zip(ids, weights):
-                result = self.trainer.run(
-                    self.global_params,
-                    self.global_buffers,
-                    cfg.dataset.clients[cid],
-                    lr,
-                    self.rngs(f"client/{cid}/round/{t}"),
-                )
-                payload = self.strategy.client_compress(
-                    int(cid), result.delta, float(weight)
-                )
-                payloads.append((int(cid), float(weight), payload))
-                buffer_deltas.append(result.buffer_delta)
-                up_bytes_total += payload.upstream_bytes
-                losses.append(result.mean_loss)
+        for result, weight in zip(results, all_weights):
+            payload = self.strategy.client_compress(
+                result.client_id, result.delta, float(weight)
+            )
+            payloads.append((result.client_id, float(weight), payload))
+            buffer_deltas.append(result.buffer_delta)
+            up_bytes_total += payload.upstream_bytes
+            losses.append(result.mean_loss)
         if cfg.count_buffer_sync and self.view.num_buffer:
             up_bytes_total += dense_bytes(self.view.num_buffer) * len(payloads)
 
@@ -286,6 +310,38 @@ class FLServer:
             sync_details=sync_details,
         )
 
+    # -- lifecycle ----------------------------------------------------------------------
+    @property
+    def backend(self):
+        """The execution backend, created on first use.
+
+        Lazy so that a closed server stays usable: the next ``run_round``
+        simply builds a fresh pool.
+        """
+        if self._backend is None:
+            workers = self.config.backend_workers
+            if workers is None:
+                # at most K clients run per round — never pool wider
+                workers = min(self.sampler.k, os.cpu_count() or 1)
+            self._backend = create_backend(
+                self.config.execution_backend,
+                self._worker_spec,
+                trainer=self.trainer,
+                workers=workers,
+            )
+        return self._backend
+
+    def close(self) -> None:
+        """Release execution-backend resources (pools, shared memory).
+
+        Idempotent; only needed when ``run_round`` is driven manually with
+        a parallel backend — :meth:`run` closes automatically.  Further
+        training after close is fine: a fresh backend is built on demand.
+        """
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
     # -- full run -----------------------------------------------------------------------
     def run(self) -> RunResult:
         cfg = self.config
@@ -301,17 +357,20 @@ class FLServer:
                 "seed": cfg.seed,
             }
         )
-        for _ in range(cfg.rounds):
-            result.append(self.run_round())
-            if (
-                cfg.stop_at_target
-                and cfg.target_accuracy is not None
-                and result.rounds_to_target(
-                    cfg.target_accuracy, cfg.accuracy_window
-                )
-                is not None
-            ):
-                break
+        try:
+            for _ in range(cfg.rounds):
+                result.append(self.run_round())
+                if (
+                    cfg.stop_at_target
+                    and cfg.target_accuracy is not None
+                    and result.rounds_to_target(
+                        cfg.target_accuracy, cfg.accuracy_window
+                    )
+                    is not None
+                ):
+                    break
+        finally:
+            self.close()
         return result
 
 

@@ -94,16 +94,18 @@ def select_participants(
         chosen.append(take)
     sticky_ids, nonsticky_ids = chosen
 
-    # map chosen ids back to their rows in each timing table
+    # map chosen ids back to their rows in each timing table: searchsorted
+    # over an argsorted view instead of building a Python dict per call
     positions = []
     for timings, ids in (
         (sticky_timings, sticky_ids),
         (nonsticky_timings, nonsticky_ids),
     ):
-        row_of = {int(cid): row for row, cid in enumerate(timings.client_ids)}
-        positions.append(
-            (timings, np.array([row_of[int(c)] for c in ids], dtype=np.int64))
-        )
+        order = np.argsort(timings.client_ids, kind="stable")
+        rows = order[
+            np.searchsorted(timings.client_ids[order], ids)
+        ] if len(ids) else np.empty(0, dtype=np.int64)
+        positions.append((timings, rows.astype(np.int64, copy=False)))
 
     def _metric(arr_name: str) -> float:
         vals = [

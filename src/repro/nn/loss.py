@@ -11,7 +11,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn.functional import log_softmax, one_hot, softmax
+from repro.nn.functional import one_hot
 
 __all__ = ["CrossEntropyLoss", "MSELoss"]
 
@@ -40,9 +40,14 @@ class CrossEntropyLoss:
         if self.label_smoothing > 0.0:
             eps = self.label_smoothing
             y = (1.0 - eps) * y + eps / c
-        logp = log_softmax(logits, axis=1)
+        # one shifted-exp pass yields both log-softmax (loss) and softmax
+        # (gradient) instead of exponentiating twice
+        shifted = logits - np.max(logits, axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        denom = np.sum(exp, axis=1, keepdims=True)
+        logp = shifted - np.log(denom)
         loss = float(-(y * logp).sum() / n)
-        self._cache = (softmax(logits, axis=1), y, n)
+        self._cache = (exp / denom, y, n)
         return loss
 
     def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:

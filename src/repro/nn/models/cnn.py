@@ -40,6 +40,7 @@ class SimpleCNN(Module):
         widths: Sequence[int] = (16, 32),
         num_classes: int = 10,
         rng: Optional[np.random.Generator] = None,
+        dtype=np.float64,
     ):
         super().__init__()
         self.num_classes = num_classes
@@ -47,13 +48,16 @@ class SimpleCNN(Module):
         prev = in_channels
         for width in widths:
             layers += [
-                Conv2d(prev, width, 3, stride=1, padding=1, bias=False, rng=rng),
-                BatchNorm2d(width),
+                Conv2d(
+                    prev, width, 3, stride=1, padding=1, bias=False,
+                    rng=rng, dtype=dtype,
+                ),
+                BatchNorm2d(width, dtype=dtype),
                 ReLU(),
                 MaxPool2d(2),
             ]
             prev = width
-        layers += [GlobalAvgPool2d(), Linear(prev, num_classes, rng=rng)]
+        layers += [GlobalAvgPool2d(), Linear(prev, num_classes, rng=rng, dtype=dtype)]
         self.net = Sequential(*layers)
 
     def forward(self, x: np.ndarray) -> np.ndarray:

@@ -26,6 +26,8 @@ class MLP(Module):
     batch_norm:
         Insert BatchNorm1d after each hidden linear layer — useful to
         exercise the Appendix D buffer-aggregation path with a cheap model.
+    dtype:
+        Parameter/buffer precision (the run-level dtype policy).
     """
 
     def __init__(
@@ -35,6 +37,7 @@ class MLP(Module):
         num_classes: int = 10,
         batch_norm: bool = False,
         rng: Optional[np.random.Generator] = None,
+        dtype=np.float64,
     ):
         super().__init__()
         self.in_features = in_features
@@ -42,12 +45,12 @@ class MLP(Module):
         layers = [Flatten()]
         prev = in_features
         for width in hidden:
-            layers.append(Linear(prev, width, rng=rng))
+            layers.append(Linear(prev, width, rng=rng, dtype=dtype))
             if batch_norm:
-                layers.append(BatchNorm1d(width))
+                layers.append(BatchNorm1d(width, dtype=dtype))
             layers.append(ReLU())
             prev = width
-        layers.append(Linear(prev, num_classes, rng=rng))
+        layers.append(Linear(prev, num_classes, rng=rng, dtype=dtype))
         self.net = Sequential(*layers)
 
     def forward(self, x: np.ndarray) -> np.ndarray:

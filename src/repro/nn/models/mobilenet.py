@@ -30,18 +30,22 @@ def _inverted_residual(
     stride: int,
     expansion: int,
     rng: Optional[np.random.Generator],
+    dtype=np.float64,
 ) -> Module:
     """Expand (1×1) → depthwise (3×3) → project (1×1), linear bottleneck."""
     mid = in_ch * expansion
     main = Sequential(
-        Conv2d(in_ch, mid, 1, bias=False, rng=rng),
-        BatchNorm2d(mid),
+        Conv2d(in_ch, mid, 1, bias=False, rng=rng, dtype=dtype),
+        BatchNorm2d(mid, dtype=dtype),
         ReLU(),
-        Conv2d(mid, mid, 3, stride=stride, padding=1, groups=mid, bias=False, rng=rng),
-        BatchNorm2d(mid),
+        Conv2d(
+            mid, mid, 3, stride=stride, padding=1, groups=mid, bias=False,
+            rng=rng, dtype=dtype,
+        ),
+        BatchNorm2d(mid, dtype=dtype),
         ReLU(),
-        Conv2d(mid, out_ch, 1, bias=False, rng=rng),
-        BatchNorm2d(out_ch),
+        Conv2d(mid, out_ch, 1, bias=False, rng=rng, dtype=dtype),
+        BatchNorm2d(out_ch, dtype=dtype),
     )
     if stride == 1 and in_ch == out_ch:
         return ResidualAdd(main)
@@ -72,26 +76,32 @@ class MobileNetLite(Module):
         ),
         head_channels: int = 48,
         rng: Optional[np.random.Generator] = None,
+        dtype=np.float64,
     ):
         super().__init__()
         self.num_classes = num_classes
         layers = [
-            Conv2d(in_channels, stem_channels, 3, stride=2, padding=1, bias=False, rng=rng),
-            BatchNorm2d(stem_channels),
+            Conv2d(
+                in_channels, stem_channels, 3, stride=2, padding=1, bias=False,
+                rng=rng, dtype=dtype,
+            ),
+            BatchNorm2d(stem_channels, dtype=dtype),
             ReLU(),
         ]
         prev = stem_channels
         for expansion, out_ch, repeats, stride in block_config:
             for i in range(repeats):
                 s = stride if i == 0 else 1
-                layers.append(_inverted_residual(prev, out_ch, s, expansion, rng))
+                layers.append(
+                    _inverted_residual(prev, out_ch, s, expansion, rng, dtype=dtype)
+                )
                 prev = out_ch
         layers += [
-            Conv2d(prev, head_channels, 1, bias=False, rng=rng),
-            BatchNorm2d(head_channels),
+            Conv2d(prev, head_channels, 1, bias=False, rng=rng, dtype=dtype),
+            BatchNorm2d(head_channels, dtype=dtype),
             ReLU(),
             GlobalAvgPool2d(),
-            Linear(head_channels, num_classes, rng=rng),
+            Linear(head_channels, num_classes, rng=rng, dtype=dtype),
         ]
         self.net = Sequential(*layers)
 

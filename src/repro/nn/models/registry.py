@@ -99,12 +99,15 @@ def build_model(
     num_classes: int,
     image_size: int,
     rng: Optional[np.random.Generator] = None,
+    dtype=np.float64,
     **kwargs,
 ) -> Module:
     """Instantiate a registered model by name.
 
     ``image_size`` is the (square) spatial input size; only the MLP builder
-    needs it, but all builders accept it for uniformity.
+    needs it, but all builders accept it for uniformity.  ``dtype`` is the
+    run-level precision policy, threaded into every layer's parameters and
+    buffers.
     """
     builder = MODELS.get(name)
     return builder(
@@ -112,5 +115,6 @@ def build_model(
         num_classes=num_classes,
         image_size=image_size,
         rng=rng,
+        dtype=dtype,
         **kwargs,
     )

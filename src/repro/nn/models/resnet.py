@@ -24,22 +24,29 @@ __all__ = ["ResNetLite"]
 
 
 def _basic_block(
-    in_ch: int, out_ch: int, stride: int, rng: Optional[np.random.Generator]
+    in_ch: int,
+    out_ch: int,
+    stride: int,
+    rng: Optional[np.random.Generator],
+    dtype=np.float64,
 ) -> Module:
     """Two 3×3 convs with a residual connection (projection if shape changes)."""
     main = Sequential(
-        Conv2d(in_ch, out_ch, 3, stride=stride, padding=1, bias=False, rng=rng),
-        BatchNorm2d(out_ch),
+        Conv2d(
+            in_ch, out_ch, 3, stride=stride, padding=1, bias=False,
+            rng=rng, dtype=dtype,
+        ),
+        BatchNorm2d(out_ch, dtype=dtype),
         ReLU(),
-        Conv2d(out_ch, out_ch, 3, padding=1, bias=False, rng=rng),
-        BatchNorm2d(out_ch),
+        Conv2d(out_ch, out_ch, 3, padding=1, bias=False, rng=rng, dtype=dtype),
+        BatchNorm2d(out_ch, dtype=dtype),
     )
     if stride == 1 and in_ch == out_ch:
         shortcut = None
     else:
         shortcut = Sequential(
-            Conv2d(in_ch, out_ch, 1, stride=stride, bias=False, rng=rng),
-            BatchNorm2d(out_ch),
+            Conv2d(in_ch, out_ch, 1, stride=stride, bias=False, rng=rng, dtype=dtype),
+            BatchNorm2d(out_ch, dtype=dtype),
         )
     return Sequential(ResidualAdd(main, shortcut), ReLU())
 
@@ -65,23 +72,27 @@ class ResNetLite(Module):
         stage_widths: Sequence[int] = (8, 16, 32),
         stage_repeats: Sequence[int] = (1, 1, 1),
         rng: Optional[np.random.Generator] = None,
+        dtype=np.float64,
     ):
         super().__init__()
         if len(stage_widths) != len(stage_repeats):
             raise ValueError("stage_widths and stage_repeats length mismatch")
         self.num_classes = num_classes
         layers = [
-            Conv2d(in_channels, stem_channels, 3, padding=1, bias=False, rng=rng),
-            BatchNorm2d(stem_channels),
+            Conv2d(
+                in_channels, stem_channels, 3, padding=1, bias=False,
+                rng=rng, dtype=dtype,
+            ),
+            BatchNorm2d(stem_channels, dtype=dtype),
             ReLU(),
         ]
         prev = stem_channels
         for stage_idx, (width, repeats) in enumerate(zip(stage_widths, stage_repeats)):
             for block_idx in range(repeats):
                 stride = 2 if (block_idx == 0 and stage_idx > 0) else 1
-                layers.append(_basic_block(prev, width, stride, rng))
+                layers.append(_basic_block(prev, width, stride, rng, dtype=dtype))
                 prev = width
-        layers += [GlobalAvgPool2d(), Linear(prev, num_classes, rng=rng)]
+        layers += [GlobalAvgPool2d(), Linear(prev, num_classes, rng=rng, dtype=dtype)]
         self.net = Sequential(*layers)
 
     def forward(self, x: np.ndarray) -> np.ndarray:

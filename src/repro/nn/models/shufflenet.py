@@ -35,6 +35,7 @@ def _shuffle_unit(
     groups: int,
     stride: int,
     rng: Optional[np.random.Generator],
+    dtype=np.float64,
 ) -> Module:
     """One ShuffleNet unit (stride 1: residual add; stride 2: concat)."""
     if stride == 1 and in_ch != out_ch:
@@ -47,14 +48,17 @@ def _shuffle_unit(
     mid = max(out_ch // 4, groups)
     mid -= mid % groups  # grouped convs need divisibility
     main = Sequential(
-        Conv2d(in_ch, mid, 1, groups=groups, bias=False, rng=rng),
-        BatchNorm2d(mid),
+        Conv2d(in_ch, mid, 1, groups=groups, bias=False, rng=rng, dtype=dtype),
+        BatchNorm2d(mid, dtype=dtype),
         ReLU(),
         ChannelShuffle(groups),
-        Conv2d(mid, mid, 3, stride=stride, padding=1, groups=mid, bias=False, rng=rng),
-        BatchNorm2d(mid),
-        Conv2d(mid, branch_out, 1, groups=groups, bias=False, rng=rng),
-        BatchNorm2d(branch_out),
+        Conv2d(
+            mid, mid, 3, stride=stride, padding=1, groups=mid, bias=False,
+            rng=rng, dtype=dtype,
+        ),
+        BatchNorm2d(mid, dtype=dtype),
+        Conv2d(mid, branch_out, 1, groups=groups, bias=False, rng=rng, dtype=dtype),
+        BatchNorm2d(branch_out, dtype=dtype),
     )
     if stride == 1:
         return Sequential(ResidualAdd(main), ReLU())
@@ -93,6 +97,7 @@ class ShuffleNetLite(Module):
         stage_widths: Sequence[int] = (16, 32),
         stage_repeats: Sequence[int] = (1, 1),
         rng: Optional[np.random.Generator] = None,
+        dtype=np.float64,
     ):
         super().__init__()
         if len(stage_widths) != len(stage_repeats):
@@ -101,18 +106,25 @@ class ShuffleNetLite(Module):
             raise ValueError("stem_channels must be divisible by groups")
         self.num_classes = num_classes
         layers = [
-            Conv2d(in_channels, stem_channels, 3, padding=1, bias=False, rng=rng),
-            BatchNorm2d(stem_channels),
+            Conv2d(
+                in_channels, stem_channels, 3, padding=1, bias=False,
+                rng=rng, dtype=dtype,
+            ),
+            BatchNorm2d(stem_channels, dtype=dtype),
             ReLU(),
             MaxPool2d(2),
         ]
         prev = stem_channels
         for width, repeats in zip(stage_widths, stage_repeats):
-            layers.append(_shuffle_unit(prev, width, groups, stride=2, rng=rng))
+            layers.append(
+                _shuffle_unit(prev, width, groups, stride=2, rng=rng, dtype=dtype)
+            )
             for _ in range(repeats):
-                layers.append(_shuffle_unit(width, width, groups, stride=1, rng=rng))
+                layers.append(
+                    _shuffle_unit(width, width, groups, stride=1, rng=rng, dtype=dtype)
+                )
             prev = width
-        layers += [GlobalAvgPool2d(), Linear(prev, num_classes, rng=rng)]
+        layers += [GlobalAvgPool2d(), Linear(prev, num_classes, rng=rng, dtype=dtype)]
         self.net = Sequential(*layers)
 
     def forward(self, x: np.ndarray) -> np.ndarray:

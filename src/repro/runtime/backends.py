@@ -1,0 +1,384 @@
+"""Pluggable client-execution backends for the round loop.
+
+The FL round is embarrassingly parallel on the client side: every
+participant trains from the *same frozen* global parameters with its own
+named RNG stream, so client results do not depend on execution order.  A
+backend receives the round's :class:`ClientTask` list plus the frozen
+``global_params``/``global_buffers`` and returns one :class:`ClientResult`
+per task, **in task order** — the server then compresses and aggregates in
+that deterministic order, which is what makes every backend bit-identical
+to serial execution.
+
+Backends
+--------
+``serial``
+    One shared model instance in the calling process (the seed behavior).
+``thread``
+    A thread pool over per-worker model replicas.  numpy's BLAS/einsum
+    kernels release the GIL, so wall-clock improves on multi-core hosts
+    without any serialization cost.
+``process``
+    A ``fork``-based :class:`multiprocessing.pool.Pool`.  The frozen global
+    state is written once per round into a POSIX shared-memory block;
+    workers read it zero-copy, train on their own replica, and send back
+    only the per-client deltas.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.base import ClientDataset
+from repro.fl.client import LocalTrainer
+from repro.nn.models import build_model
+from repro.nn.module import Module
+from repro.runtime.dtype import cast_model_dtype, resolve_dtype
+from repro.utils.rng import RngFactory
+
+__all__ = [
+    "BACKENDS",
+    "ClientTask",
+    "ClientResult",
+    "WorkerSpec",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "create_backend",
+]
+
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ClientTask:
+    """One participant's work order for the round."""
+
+    client_id: int
+    lr: float
+    round_idx: int
+
+
+@dataclass
+class ClientResult:
+    """One participant's training outcome, as returned by a backend."""
+
+    client_id: int
+    delta: np.ndarray
+    buffer_delta: np.ndarray
+    num_samples: int
+    mean_loss: float
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker needs to rebuild the training context.
+
+    The replica's initial weights are irrelevant — every task overwrites
+    them from the shipped global state — so replicas are built with a fixed
+    throwaway RNG.  Per-client randomness comes from
+    ``RngFactory(seed)(f"client/{cid}/round/{t}")``, exactly the stream the
+    serial path uses.
+    """
+
+    model_name: str
+    model_kwargs: Dict[str, Any]
+    in_channels: int
+    num_classes: int
+    image_size: int
+    local_steps: int
+    batch_size: int
+    momentum: float
+    weight_decay: float
+    seed: int
+    clients: List[ClientDataset]
+    dtype: str = "float64"
+    d: int = 0
+    num_buffer: int = 0
+
+    def build_trainer(self) -> Tuple[Module, LocalTrainer]:
+        model = build_model(
+            self.model_name,
+            in_channels=self.in_channels,
+            num_classes=self.num_classes,
+            image_size=self.image_size,
+            rng=np.random.default_rng(0),
+            dtype=resolve_dtype(self.dtype),
+            **self.model_kwargs,
+        )
+        cast_model_dtype(model, self.dtype)
+        trainer = LocalTrainer(
+            model,
+            local_steps=self.local_steps,
+            batch_size=self.batch_size,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+        )
+        return model, trainer
+
+
+def _run_one(
+    trainer: LocalTrainer,
+    rngs: RngFactory,
+    clients: Sequence[ClientDataset],
+    task: ClientTask,
+    global_params: np.ndarray,
+    global_buffers: np.ndarray,
+) -> ClientResult:
+    """Train one client — the shared inner step of every backend."""
+    result = trainer.run(
+        global_params,
+        global_buffers,
+        clients[task.client_id],
+        task.lr,
+        rngs(f"client/{task.client_id}/round/{task.round_idx}"),
+    )
+    return ClientResult(
+        client_id=task.client_id,
+        delta=result.delta,
+        buffer_delta=result.buffer_delta,
+        num_samples=result.num_samples,
+        mean_loss=result.mean_loss,
+    )
+
+
+class ExecutionBackend:
+    """Base class: lifecycle + the per-round dispatch hook."""
+
+    name: str = "base"
+
+    def __init__(self, spec: WorkerSpec):
+        self.spec = spec
+        self.rngs = RngFactory(spec.seed)
+
+    def run_clients(
+        self,
+        tasks: Sequence[ClientTask],
+        global_params: np.ndarray,
+        global_buffers: np.ndarray,
+    ) -> List[ClientResult]:
+        """Train every task's client; results are returned in task order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (pools, shared memory)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """Clients trained one after another on a single shared model."""
+
+    name = "serial"
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        trainer: Optional[LocalTrainer] = None,
+    ):
+        super().__init__(spec)
+        if trainer is None:
+            _, trainer = spec.build_trainer()
+        self.trainer = trainer
+
+    def run_clients(
+        self,
+        tasks: Sequence[ClientTask],
+        global_params: np.ndarray,
+        global_buffers: np.ndarray,
+    ) -> List[ClientResult]:
+        return [
+            _run_one(
+                self.trainer, self.rngs, self.spec.clients, task,
+                global_params, global_buffers,
+            )
+            for task in tasks
+        ]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread pool over a set of per-worker model replicas.
+
+    Replicas are handed out through a queue, so at most ``workers`` clients
+    train concurrently and no model instance is ever shared between two
+    in-flight tasks.
+    """
+
+    name = "thread"
+
+    def __init__(self, spec: WorkerSpec, workers: Optional[int] = None):
+        super().__init__(spec)
+        self.workers = max(1, workers or os.cpu_count() or 1)
+        self._replicas: "queue.SimpleQueue[LocalTrainer]" = queue.SimpleQueue()
+        for _ in range(self.workers):
+            _, trainer = spec.build_trainer()
+            self._replicas.put(trainer)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-client"
+        )
+
+    def _run_task(
+        self,
+        task: ClientTask,
+        global_params: np.ndarray,
+        global_buffers: np.ndarray,
+    ) -> ClientResult:
+        trainer = self._replicas.get()
+        try:
+            return _run_one(
+                trainer, self.rngs, self.spec.clients, task,
+                global_params, global_buffers,
+            )
+        finally:
+            self._replicas.put(trainer)
+
+    def run_clients(
+        self,
+        tasks: Sequence[ClientTask],
+        global_params: np.ndarray,
+        global_buffers: np.ndarray,
+    ) -> List[ClientResult]:
+        futures = [
+            self._pool.submit(self._run_task, task, global_params, global_buffers)
+            for task in tasks
+        ]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+# -- process backend ----------------------------------------------------------
+# Worker-process globals, populated once by the pool initializer (the pool
+# is fork-based, so the spec — including the dataset shards — is inherited
+# by reference, never pickled).
+_worker_ctx: Dict[str, Any] = {}
+
+
+def _process_worker_init(spec: WorkerSpec, shm_name: str) -> None:
+    from multiprocessing import shared_memory
+
+    # Workers fork from the parent, so they share its resource tracker:
+    # attaching here re-registers the same name in the same tracker set
+    # (idempotent), and the parent's close()+unlink() cleans up once.
+    shm = shared_memory.SharedMemory(name=shm_name)
+    dt = resolve_dtype(spec.dtype)
+    flat = np.ndarray(spec.d + spec.num_buffer, dtype=dt, buffer=shm.buf)
+    _, trainer = spec.build_trainer()
+    _worker_ctx.update(
+        spec=spec,
+        shm=shm,
+        params=flat[: spec.d],
+        buffers=flat[spec.d :],
+        trainer=trainer,
+        rngs=RngFactory(spec.seed),
+    )
+
+
+def _process_worker_run(task: ClientTask) -> ClientResult:
+    ctx = _worker_ctx
+    return _run_one(
+        ctx["trainer"], ctx["rngs"], ctx["spec"].clients, task,
+        ctx["params"], ctx["buffers"],
+    )
+
+
+class ProcessBackend(ExecutionBackend):
+    """Fork-based process pool with shared-memory parameter shipping.
+
+    Per round the server writes ``global_params``/``global_buffers`` once
+    into a shared-memory block sized at setup; workers read it zero-copy.
+    Only the tiny :class:`ClientTask` tuples and the per-client deltas cross
+    the process boundary.
+    """
+
+    name = "process"
+
+    def __init__(self, spec: WorkerSpec, workers: Optional[int] = None):
+        super().__init__(spec)
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            raise RuntimeError(
+                "the process backend requires the 'fork' start method "
+                "(POSIX); use execution_backend='thread' on this platform"
+            )
+        from multiprocessing import shared_memory
+
+        self.workers = max(1, workers or os.cpu_count() or 1)
+        dt = resolve_dtype(spec.dtype)
+        nbytes = max(1, (spec.d + spec.num_buffer) * dt.itemsize)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._flat = np.ndarray(
+            spec.d + spec.num_buffer, dtype=dt, buffer=self._shm.buf
+        )
+        ctx = mp.get_context("fork")
+        self._pool = ctx.Pool(
+            processes=self.workers,
+            initializer=_process_worker_init,
+            initargs=(spec, self._shm.name),
+        )
+        self._closed = False
+
+    def run_clients(
+        self,
+        tasks: Sequence[ClientTask],
+        global_params: np.ndarray,
+        global_buffers: np.ndarray,
+    ) -> List[ClientResult]:
+        spec = self.spec
+        self._flat[: spec.d] = global_params
+        if spec.num_buffer:
+            self._flat[spec.d :] = global_buffers
+        # map() preserves task order, so aggregation order matches serial
+        return self._pool.map(_process_worker_run, tasks, chunksize=1)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.close()
+        self._pool.join()
+        del self._flat
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double close
+            pass
+
+    def __del__(self):  # pragma: no cover - belt and suspenders
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def create_backend(
+    name: str,
+    spec: WorkerSpec,
+    *,
+    trainer: Optional[LocalTrainer] = None,
+    workers: Optional[int] = None,
+) -> ExecutionBackend:
+    """Build the execution backend selected by ``RunConfig.execution_backend``.
+
+    ``trainer`` lets the serial backend reuse the server's existing shared
+    model instance instead of building a replica.
+    """
+    if name == "serial":
+        return SerialBackend(spec, trainer=trainer)
+    if name == "thread":
+        return ThreadBackend(spec, workers=workers)
+    if name == "process":
+        return ProcessBackend(spec, workers=workers)
+    raise ValueError(f"unknown execution backend {name!r}; expected {BACKENDS}")

@@ -153,3 +153,68 @@ def test_validation():
 def test_downstream_extra_is_mask_bitmap():
     s = make(d=1600)
     assert s.downstream_extra_bytes() == bitmap_bytes(1600)
+
+
+def test_aggregate_matches_dense_reference(rng):
+    """The scatter (np.add.at) aggregation == a naive dense reference."""
+    s = make(d=300, q=0.3, q_shr=0.1)
+    run_round(s, 1, [rng.normal(size=300)])
+    s.begin_round(2)
+    weights = [0.5, 0.3, 0.2]
+    payloads = [
+        (i, w, s.client_compress(i, rng.normal(size=300), w))
+        for i, w in enumerate(weights)
+    ]
+    agg = s.aggregate(payloads)
+
+    mask = s.mask_idx
+    shr_ref = np.zeros(300)
+    uni_ref = np.zeros(300)
+    for _, w, payload in payloads:
+        shr_ref[mask] += w * payload.data["shr_vals"]
+        np.add.at(uni_ref, payload.data["idx"], w * payload.data["vals"])
+    from repro.compression.topk import top_k_indices
+
+    keep = top_k_indices(uni_ref, s._k_unique())
+    expected = shr_ref.copy()
+    expected[keep] += uni_ref[keep]
+    np.testing.assert_allclose(agg.global_delta, expected, rtol=1e-12, atol=1e-12)
+
+
+def test_aggregate_owns_global_delta(rng):
+    """Regression: the returned delta must not alias internal accumulators.
+
+    The old implementation returned the shared-mask accumulator itself
+    (``global_delta = shr_acc``) and then mutated it in place via
+    ``global_delta[keep] += ...`` — aggregate must be repeatable and its
+    result safe for callers to mutate.
+    """
+    s = make(d=200, q=0.3, q_shr=0.1)
+    run_round(s, 1, [rng.normal(size=200)])
+    s.begin_round(2)
+    payloads = [
+        (i, 0.5, s.client_compress(i, rng.normal(size=200), 0.5))
+        for i in range(2)
+    ]
+    first = s.aggregate(payloads)
+    # caller mutates its copy of the update (e.g. applies it in place) ...
+    first.global_delta[:] = 123.0
+    # ... and a repeated aggregation of the same payloads is unaffected
+    second = s.aggregate(payloads)
+    assert not np.array_equal(second.global_delta, first.global_delta)
+    sent_mask = np.zeros(200, dtype=bool)
+    sent_mask[s.mask_idx] = True
+    for _, _, p in payloads:
+        sent_mask[p.data["idx"]] = True
+    np.testing.assert_array_equal(second.global_delta[~sent_mask], 0.0)
+
+
+def test_client_compress_does_not_mutate_caller_delta(rng):
+    """client_compress works in place on an owned copy, never on the input."""
+    s = make(d=200, q=0.2, q_shr=0.1, ec=ErrorCompMode.REC)
+    run_round(s, 1, [rng.normal(size=200)])
+    s.begin_round(2)
+    delta = rng.normal(size=200)
+    original = delta.copy()
+    s.client_compress(0, delta, 1.0)
+    np.testing.assert_array_equal(delta, original)

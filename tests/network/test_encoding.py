@@ -74,3 +74,26 @@ def test_golomb_cheaper_than_bitmap_for_sparse():
 def test_golomb_edge_cases():
     assert golomb_position_bytes(0, 100) == 0
     assert golomb_position_bytes(100, 100) == 0
+
+
+def test_sparse_bytes_many_matches_scalar():
+    import numpy as np
+
+    from repro.network.encoding import sparse_bytes_many
+
+    for d in (1, 100, 5000, 10**6):
+        ks = np.unique(np.clip([0, 1, 2, d // 100, d // 10, d // 2, d], 0, d))
+        vec = sparse_bytes_many(ks, d)
+        for k, nbytes in zip(ks, vec):
+            assert nbytes == sparse_bytes(int(k), d), (k, d)
+
+
+def test_sparse_bytes_many_validation():
+    import numpy as np
+
+    from repro.network.encoding import sparse_bytes_many
+
+    with pytest.raises(ValueError):
+        sparse_bytes_many(np.array([5]), 4)
+    with pytest.raises(ValueError):
+        sparse_bytes_many(np.array([-1]), 4)
