@@ -1,0 +1,156 @@
+"""Perf-regression gate over ``BENCH_micro.json`` for a scheduled job.
+
+Runs ``run_micro_bench.py`` (or, with ``--candidate``, takes an existing
+report), diffs every timing against the committed baseline with a relative
+tolerance, and exits nonzero when anything regressed.  Intended wiring::
+
+    PYTHONPATH=src python benchmarks/check_bench_regression.py \
+        [--baseline BENCH_micro.json] [--tolerance 0.25] \
+        [--candidate fresh.json | --rounds 20 --repeats 3]
+
+Keys present in only one report (e.g. a newly added e2e combo, or the
+``seed_serial_float64`` baseline that needs ``--seed-src``) are reported
+but never fail the gate; only timings that exist on both sides count.
+Accuracy keys are checked for absolute drift as a sanity net — a perf PR
+should not move what the simulation computes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+HERE = Path(__file__).resolve().parent
+
+
+def timing_entries(report: dict) -> Dict[str, float]:
+    """Flatten the timings of a bench report to ``{dotted.key: seconds}``."""
+    out = {}
+    for key, value in report.get("micro", {}).items():
+        out[f"micro.{key}"] = float(value)
+    for combo, stats in report.get("e2e", {}).items():
+        out[f"e2e.{combo}.seconds"] = float(stats["seconds"])
+    return out
+
+
+def accuracy_entries(report: dict) -> Dict[str, float]:
+    return {
+        f"e2e.{combo}.final_accuracy": float(stats["final_accuracy"])
+        for combo, stats in report.get("e2e", {}).items()
+        if "final_accuracy" in stats
+    }
+
+
+def compare(
+    baseline: dict,
+    candidate: dict,
+    tolerance: float,
+    accuracy_drift: float = 0.02,
+) -> Tuple[List[str], List[str]]:
+    """Return ``(regressions, notes)`` between two bench reports.
+
+    A timing regresses when ``candidate > baseline * (1 + tolerance)``.
+    Faster-than-baseline results and keys missing on either side are notes.
+    """
+    regressions: List[str] = []
+    notes: List[str] = []
+    base_t = timing_entries(baseline)
+    cand_t = timing_entries(candidate)
+    for key in sorted(base_t.keys() | cand_t.keys()):
+        if key not in base_t:
+            notes.append(f"NEW       {key}: {cand_t[key]:.4f}s (no baseline)")
+            continue
+        if key not in cand_t:
+            notes.append(f"MISSING   {key}: not in candidate report")
+            continue
+        old, new = base_t[key], cand_t[key]
+        ratio = new / old if old > 0 else float("inf")
+        line = f"{key}: {old:.4f}s -> {new:.4f}s ({ratio:.2f}x)"
+        if new > old * (1.0 + tolerance):
+            regressions.append(f"REGRESSED {line}")
+        else:
+            notes.append(f"ok        {line}")
+
+    base_a = accuracy_entries(baseline)
+    cand_a = accuracy_entries(candidate)
+    for key in sorted(base_a.keys() & cand_a.keys()):
+        drift = abs(cand_a[key] - base_a[key])
+        line = f"{key}: {base_a[key]:.4f} -> {cand_a[key]:.4f}"
+        if drift > accuracy_drift:
+            regressions.append(f"DRIFTED   {line}")
+        else:
+            notes.append(f"ok        {line}")
+    return regressions, notes
+
+
+def run_bench(rounds: int, repeats: int) -> dict:
+    """Produce a fresh report by running ``run_micro_bench.py``."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = Path(tmp.name)
+    try:
+        subprocess.run(
+            [
+                sys.executable,
+                str(HERE / "run_micro_bench.py"),
+                "--out", str(out_path),
+                "--rounds", str(rounds),
+                "--repeats", str(repeats),
+            ],
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        return json.loads(out_path.read_text())
+    finally:
+        out_path.unlink(missing_ok=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default=str(HERE.parent / "BENCH_micro.json"),
+        help="committed baseline report (default: repo BENCH_micro.json)",
+    )
+    parser.add_argument(
+        "--candidate",
+        default=None,
+        help="pre-generated report to check; omit to run the bench now",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative slowdown allowed before failing (default 0.25)",
+    )
+    parser.add_argument("--rounds", type=int, default=20)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    if args.candidate:
+        candidate = json.loads(Path(args.candidate).read_text())
+    else:
+        candidate = run_bench(args.rounds, args.repeats)
+
+    regressions, notes = compare(baseline, candidate, args.tolerance)
+    for line in notes:
+        print(line)
+    for line in regressions:
+        print(line)
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.tolerance:.0%} tolerance"
+        )
+        return 1
+    print("\nno perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

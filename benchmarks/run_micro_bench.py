@@ -155,6 +155,16 @@ def main() -> None:
         ("serial_float64", {"execution_backend": "serial", "dtype": "float64"}),
         ("serial_float32", {"execution_backend": "serial", "dtype": "float32"}),
         ("process_float32", {"execution_backend": "process", "dtype": "float32"}),
+        # async/buffered scheduler (one round == one 5-arrival flush)
+        (
+            "async_serial_float32",
+            {
+                "execution_backend": "serial",
+                "dtype": "float32",
+                "scheduler": "async",
+                "async_buffer_size": 5,
+            },
+        ),
     ]
     for label, extra in combos:
         samples = [

@@ -1,0 +1,51 @@
+"""Phase-based round engine with pluggable scheduling.
+
+The :class:`RoundEngine` composes seven :class:`~repro.engine.phases.Phase`
+objects — each owning one slice of the synchronous GlueFL round — with
+before/after hooks; :mod:`~repro.engine.schedulers` turns the engine into
+runnable round shapes: sync (Algorithm 1), async/buffered (FedBuff-style),
+and failure-injection.  ``FLServer`` is the state-holder these operate on.
+"""
+
+from repro.engine.context import RoundContext
+from repro.engine.engine import RoundEngine, RoundHook
+from repro.engine.phases import (
+    AggregationPhase,
+    CompressionPhase,
+    ExecutionPhase,
+    MeasurementPhase,
+    Phase,
+    SamplingPhase,
+    SyncAccountingPhase,
+    TimingSelectionPhase,
+    default_phases,
+)
+from repro.engine.schedulers import (
+    SCHEDULERS,
+    AsyncBufferedScheduler,
+    FailureInjectionScheduler,
+    Scheduler,
+    SyncScheduler,
+    create_scheduler,
+)
+
+__all__ = [
+    "RoundContext",
+    "RoundEngine",
+    "RoundHook",
+    "Phase",
+    "SamplingPhase",
+    "SyncAccountingPhase",
+    "TimingSelectionPhase",
+    "ExecutionPhase",
+    "CompressionPhase",
+    "AggregationPhase",
+    "MeasurementPhase",
+    "default_phases",
+    "Scheduler",
+    "SyncScheduler",
+    "AsyncBufferedScheduler",
+    "FailureInjectionScheduler",
+    "SCHEDULERS",
+    "create_scheduler",
+]

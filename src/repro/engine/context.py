@@ -1,0 +1,79 @@
+"""Per-round state threaded through the engine's phases.
+
+A :class:`RoundContext` is created empty at the top of each round and
+filled in progressively: every phase reads the fields earlier phases
+produced and writes its own.  Scheduler hooks may pre-set the injection
+knobs (``extra_dropout_prob``, ``straggler_*``) before the timing phase
+runs — the sync scheduler never touches them, so the default context
+reproduces the monolithic loop exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+import numpy as np
+
+__all__ = ["RoundContext"]
+
+
+@dataclass
+class RoundContext:
+    """Everything one round produces, phase by phase.
+
+    ``Any``-typed fields hold :class:`~repro.fl.samplers.SampleDraw`,
+    :class:`~repro.fl.simulator.ParticipantSelection`,
+    :class:`~repro.compression.base.AggregateResult` and
+    :class:`~repro.fl.metrics.RoundRecord` instances; the loose typing
+    keeps this module import-light (it is imported by both the engine and
+    ``repro.fl``).
+    """
+
+    round_idx: int
+
+    # -- sampling phase --------------------------------------------------------
+    available: Optional[np.ndarray] = None
+    draw: Any = None
+
+    # -- sync-accounting phase -------------------------------------------------
+    down_per_client: Optional[np.ndarray] = None
+    down_bytes_total: int = 0
+    mean_stale_fraction: float = 0.0
+    sync_details: Optional[List[tuple]] = None
+
+    # -- timing/selection phase ------------------------------------------------
+    up_nominal: int = 0
+    selection: Any = None
+
+    # -- execution phase ---------------------------------------------------------
+    lr: float = 0.0
+    all_weights: Optional[np.ndarray] = None
+    tasks: List[Any] = field(default_factory=list)
+    results: List[Any] = field(default_factory=list)
+
+    # -- compression phase -------------------------------------------------------
+    payloads: List[Any] = field(default_factory=list)
+    buffer_deltas: List[np.ndarray] = field(default_factory=list)
+    up_bytes_total: int = 0
+    losses: List[float] = field(default_factory=list)
+    #: no participant survived and ``skip_empty_rounds`` is on: aggregation
+    #: is skipped and the measurement phase emits a zero-participant record
+    empty_round: bool = False
+
+    # -- aggregation phase -------------------------------------------------------
+    agg: Any = None
+
+    # -- measurement phase -------------------------------------------------------
+    accuracy: Optional[float] = None
+    record: Any = None
+
+    # -- failure-injection knobs (set by scheduler hooks) -------------------------
+    #: extra mid-round dropout applied on top of the availability trace
+    extra_dropout_prob: float = 0.0
+    #: fraction of candidates hit by a straggler storm this round
+    straggler_fraction: float = 0.0
+    #: compute-time multiplier for storm-hit candidates
+    straggler_slowdown: float = 1.0
+    #: True when a scheduler injected failures into this round
+    injected_failure: bool = False

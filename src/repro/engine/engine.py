@@ -1,0 +1,62 @@
+"""The RoundEngine: a phase pipeline with before/after hooks.
+
+The engine is deliberately dumb — it owns no FL semantics, only the
+composition: run each phase in order, surrounding every phase with its
+registered hooks.  Schedulers customize rounds by installing hooks (the
+failure-injection scheduler sets the context's dropout/straggler knobs
+before the timing phase) or by replacing the phase list outright.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.engine.context import RoundContext
+from repro.engine.phases import Phase, default_phases
+
+__all__ = ["RoundEngine", "RoundHook"]
+
+#: A hook receives the same ``(server, ctx)`` pair as a phase.
+RoundHook = Callable[[object, RoundContext], None]
+
+
+class RoundEngine:
+    """Compose phases into one round; hooks attach per phase name."""
+
+    def __init__(self, phases: Optional[Sequence[Phase]] = None):
+        self.phases: List[Phase] = (
+            list(phases) if phases is not None else default_phases()
+        )
+        self._before: Dict[str, List[RoundHook]] = {}
+        self._after: Dict[str, List[RoundHook]] = {}
+
+    # -- hook registration -------------------------------------------------------
+    def _known(self, phase_name: str) -> None:
+        if phase_name not in {p.name for p in self.phases}:
+            raise ValueError(
+                f"unknown phase {phase_name!r}; engine has "
+                f"{[p.name for p in self.phases]}"
+            )
+
+    def add_before(self, phase_name: str, hook: RoundHook) -> "RoundEngine":
+        """Run ``hook(server, ctx)`` right before the named phase."""
+        self._known(phase_name)
+        self._before.setdefault(phase_name, []).append(hook)
+        return self
+
+    def add_after(self, phase_name: str, hook: RoundHook) -> "RoundEngine":
+        """Run ``hook(server, ctx)`` right after the named phase."""
+        self._known(phase_name)
+        self._after.setdefault(phase_name, []).append(hook)
+        return self
+
+    # -- execution ---------------------------------------------------------------
+    def run_round(self, server, ctx: RoundContext):
+        """Drive one round through every phase; returns the RoundRecord."""
+        for phase in self.phases:
+            for hook in self._before.get(phase.name, ()):
+                hook(server, ctx)
+            phase.run(server, ctx)
+            for hook in self._after.get(phase.name, ()):
+                hook(server, ctx)
+        return ctx.record

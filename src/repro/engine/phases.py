@@ -1,0 +1,342 @@
+"""The seven phases of a synchronous GlueFL round.
+
+Each phase owns one slice of what used to be the monolithic
+``FLServer.run_round`` and communicates only through the
+:class:`~repro.engine.context.RoundContext`.  The extraction is a faithful
+transplant: RNG consumers run in the exact order of the original loop
+(sampler draw → sticky survives → non-sticky survives; per-client training
+streams are order-independent by construction), so the default phase list
+is bit-identical to the pre-refactor monolith — pinned by
+``tests/engine/test_round_engine.py`` against a committed golden.
+
+Phases receive ``(server, ctx)``: the :class:`~repro.fl.server.FLServer`
+is the state-holder (model, strategy, sampler, substrate models), the
+context is the round's scratchpad.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.engine.context import RoundContext
+from repro.fl.aggregation import aggregate_buffer_deltas
+from repro.fl.metrics import RoundRecord
+from repro.fl.simulator import CandidateTimings, select_participants
+from repro.network.encoding import dense_bytes
+from repro.runtime.backends import ClientTask
+
+__all__ = [
+    "Phase",
+    "SamplingPhase",
+    "SyncAccountingPhase",
+    "TimingSelectionPhase",
+    "ExecutionPhase",
+    "CompressionPhase",
+    "AggregationPhase",
+    "MeasurementPhase",
+    "default_phases",
+    "downstream_sync_bytes",
+    "nominal_upstream_bytes",
+    "compress_results",
+    "apply_aggregate",
+    "scheduled_accuracy",
+]
+
+
+# -- shared round slices -----------------------------------------------------------
+# Helpers used by both the sync phases and the async scheduler, so the
+# byte-accounting and model-update rules live in exactly one place.
+
+
+def downstream_sync_bytes(server, client_ids: np.ndarray):
+    """``(value_sync_bytes, per_client_total)`` for contacting ``client_ids``.
+
+    The total adds the strategy's per-client mask overhead and, when
+    ``count_buffer_sync`` is on, the dense BN-buffer shipment.
+    """
+    sync_bytes = server.staleness.download_bytes_many(client_ids)
+    extra = server.strategy.downstream_extra_bytes()
+    if server.config.count_buffer_sync and server.view.num_buffer:
+        extra += dense_bytes(server.view.num_buffer)
+    return sync_bytes, sync_bytes + extra
+
+
+def nominal_upstream_bytes(server) -> int:
+    """A-priori per-client upload size (for round-time scheduling)."""
+    up = server.strategy.nominal_upstream_bytes()
+    if server.config.count_buffer_sync and server.view.num_buffer:
+        up += dense_bytes(server.view.num_buffer)
+    return up
+
+
+def compress_results(server, results, weights):
+    """Compress training results in order; returns
+    ``(payloads, buffer_deltas, losses, up_bytes_total)``."""
+    payloads: List[Tuple[int, float, object]] = []
+    buffer_deltas: List[np.ndarray] = []
+    losses: List[float] = []
+    up_bytes_total = 0
+    for result, weight in zip(results, weights):
+        payload = server.strategy.client_compress(
+            result.client_id, result.delta, float(weight)
+        )
+        payloads.append((result.client_id, float(weight), payload))
+        buffer_deltas.append(result.buffer_delta)
+        up_bytes_total += payload.upstream_bytes
+        losses.append(result.mean_loss)
+    if server.config.count_buffer_sync and server.view.num_buffer:
+        up_bytes_total += dense_bytes(server.view.num_buffer) * len(payloads)
+    return payloads, buffer_deltas, losses, up_bytes_total
+
+
+def apply_aggregate(server, payloads, buffer_deltas):
+    """Aggregate payloads into the global state + staleness ledger.
+
+    The globals are *replaced*, never mutated — in-flight async jobs hold
+    references to the pre-update arrays as their dispatch-time snapshots —
+    and the new arrays are marked read-only to enforce that invariant.
+    """
+    agg = server.strategy.aggregate(payloads)
+    params = server.global_params + agg.global_delta
+    params.flags.writeable = False
+    server.global_params = params
+    if server.view.num_buffer and buffer_deltas:
+        buffers = server.global_buffers + aggregate_buffer_deltas(buffer_deltas)
+        buffers.flags.writeable = False
+        server.global_buffers = buffers
+    server.staleness.record_update(agg.changed_idx)
+    return agg
+
+
+def scheduled_accuracy(server, round_idx: int, down_bytes_total: int):
+    """Evaluate + log when the eval schedule says so; else ``None``."""
+    cfg = server.config
+    if round_idx % cfg.eval_every == 0 or round_idx == cfg.rounds:
+        accuracy = server.evaluate()
+        server.logger.log(
+            "eval", round=round_idx, accuracy=round(accuracy, 4),
+            down_gb=round(down_bytes_total / 1e9, 4),
+        )
+        return accuracy
+    return None
+
+
+class Phase:
+    """One slice of the round.  Subclasses override :meth:`run`."""
+
+    name: str = "base"
+
+    def run(self, server, ctx: RoundContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class SamplingPhase(Phase):
+    """Strategy round-open + availability + over-committed candidate draw."""
+
+    name = "sampling"
+
+    def run(self, server, ctx: RoundContext) -> None:
+        server.strategy.begin_round(ctx.round_idx)
+        ctx.available = server.availability.online(ctx.round_idx)
+        ctx.draw = server.sampler.draw(
+            ctx.round_idx, ctx.available, server.config.overcommit
+        )
+
+
+class SyncAccountingPhase(Phase):
+    """Downstream ledger: stale-coordinate sync + strategy mask overhead."""
+
+    name = "sync"
+
+    def run(self, server, ctx: RoundContext) -> None:
+        cfg = server.config
+        candidates = ctx.draw.candidates
+        sync_bytes, ctx.down_per_client = downstream_sync_bytes(
+            server, candidates
+        )
+        ctx.down_bytes_total = int(ctx.down_per_client.sum())
+        ctx.mean_stale_fraction = server.staleness.mean_staleness_fraction(
+            candidates
+        )
+        if cfg.collect_sync_details:
+            # one model update is applied per round, so version == round gap
+            gaps = server.staleness.sync_gaps(candidates)
+            ctx.sync_details = list(
+                zip(candidates.tolist(), gaps.tolist(), sync_bytes.tolist())
+            )
+        server.staleness.mark_synced(candidates)
+
+
+class TimingSelectionPhase(Phase):
+    """Per-candidate latency estimates + first-K-per-bucket selection.
+
+    Consults the context's failure-injection knobs: a straggler storm
+    multiplies the compute time of a random candidate subset, a dropout
+    burst thins the survivor masks.  Both draw from the availability
+    trace's RNG and only when the knobs are set, so the sync path makes
+    no extra RNG calls.
+    """
+
+    name = "timing"
+
+    def run(self, server, ctx: RoundContext) -> None:
+        cfg = server.config
+        draw = ctx.draw
+        up_nominal = ctx.up_nominal = nominal_upstream_bytes(server)
+
+        def timings_for(ids: np.ndarray, down: np.ndarray) -> CandidateTimings:
+            compute_s = server.compute.round_seconds_many(
+                ids, cfg.local_steps, server.model_scale
+            )
+            if ctx.straggler_fraction > 0.0:
+                storm = server.availability.straggler_mask(
+                    ids, ctx.straggler_fraction
+                )
+                compute_s = np.where(
+                    storm, compute_s * ctx.straggler_slowdown, compute_s
+                )
+            return CandidateTimings(
+                client_ids=ids,
+                download_s=server.links.download_seconds_many(ids, down),
+                compute_s=compute_s,
+                upload_s=server.links.upload_seconds_many(
+                    ids, np.full(len(ids), up_nominal)
+                ),
+            )
+
+        n_sticky = len(draw.sticky)
+        sticky_t = timings_for(draw.sticky, ctx.down_per_client[:n_sticky])
+        nonsticky_t = timings_for(draw.nonsticky, ctx.down_per_client[n_sticky:])
+        sticky_survives = server.availability.survives_round(draw.sticky)
+        nonsticky_survives = server.availability.survives_round(draw.nonsticky)
+        if ctx.extra_dropout_prob > 0.0:
+            sticky_survives = sticky_survives & server.availability.burst_survives(
+                draw.sticky, ctx.extra_dropout_prob
+            )
+            nonsticky_survives = (
+                nonsticky_survives
+                & server.availability.burst_survives(
+                    draw.nonsticky, ctx.extra_dropout_prob
+                )
+            )
+        ctx.selection = select_participants(
+            sticky_t,
+            nonsticky_t,
+            draw.quota_sticky,
+            draw.quota_nonsticky,
+            sticky_survives,
+            nonsticky_survives,
+        )
+
+
+class ExecutionPhase(Phase):
+    """Local SGD for every participant — the execution-backend seam.
+
+    All simulation substrates stop here: the phase hands frozen global
+    state plus :class:`~repro.runtime.backends.ClientTask` orders to
+    whatever :class:`~repro.runtime.backends.ExecutionBackend` the config
+    selected, and gets per-client deltas back in task order.
+    """
+
+    name = "execution"
+
+    def run(self, server, ctx: RoundContext) -> None:
+        selection = ctx.selection
+        nu_s, nu_r = server._weights_for(
+            selection.sticky_ids, selection.nonsticky_ids
+        )
+        ctx.lr = server.lr_schedule.at_round(ctx.round_idx - 1)
+        ctx.all_weights = np.concatenate([nu_s, nu_r])
+        ctx.tasks = [
+            ClientTask(client_id=int(cid), lr=ctx.lr, round_idx=ctx.round_idx)
+            for cid in selection.participant_ids
+        ]
+        ctx.results = server.backend.run_clients(
+            ctx.tasks, server.global_params, server.global_buffers
+        )
+
+
+class CompressionPhase(Phase):
+    """Client-side compression + upstream ledger, in task order.
+
+    Compression stays in the server process, in task order, so every
+    execution backend is bit-identical to serial execution.
+    """
+
+    name = "compression"
+
+    def run(self, server, ctx: RoundContext) -> None:
+        (
+            ctx.payloads,
+            ctx.buffer_deltas,
+            ctx.losses,
+            ctx.up_bytes_total,
+        ) = compress_results(server, ctx.results, ctx.all_weights)
+        if not ctx.payloads:
+            if server.config.skip_empty_rounds:
+                ctx.empty_round = True
+            else:
+                raise RuntimeError(
+                    f"round {ctx.round_idx}: no participants survived"
+                )
+
+
+class AggregationPhase(Phase):
+    """Weighted aggregation, model update, staleness ledger, round-close."""
+
+    name = "aggregation"
+
+    def run(self, server, ctx: RoundContext) -> None:
+        if ctx.empty_round:
+            return
+        agg = apply_aggregate(server, ctx.payloads, ctx.buffer_deltas)
+        server.sampler.complete_round(
+            ctx.selection.sticky_ids, ctx.selection.nonsticky_ids
+        )
+        server.strategy.end_round(agg, ctx.round_idx)
+        ctx.agg = agg
+
+
+class MeasurementPhase(Phase):
+    """Scheduled evaluation + the round's :class:`RoundRecord`."""
+
+    name = "measurement"
+
+    def run(self, server, ctx: RoundContext) -> None:
+        t = ctx.round_idx
+        ctx.accuracy = scheduled_accuracy(server, t, ctx.down_bytes_total)
+        selection = ctx.selection
+        ctx.record = RoundRecord(
+            round_idx=t,
+            down_bytes=ctx.down_bytes_total,
+            up_bytes=ctx.up_bytes_total,
+            round_seconds=selection.round_seconds,
+            download_seconds=selection.download_seconds,
+            compute_seconds=selection.compute_seconds,
+            upload_seconds=selection.upload_seconds,
+            num_candidates=len(ctx.draw.candidates),
+            num_participants=0 if ctx.empty_round else selection.count,
+            mean_stale_fraction=ctx.mean_stale_fraction,
+            train_loss=float(np.mean(ctx.losses)) if ctx.losses else 0.0,
+            accuracy=ctx.accuracy,
+            sync_details=ctx.sync_details,
+            injected_failure=ctx.injected_failure,
+        )
+
+
+def default_phases() -> List[Phase]:
+    """The synchronous Algorithm 1 round shape, in order."""
+    return [
+        SamplingPhase(),
+        SyncAccountingPhase(),
+        TimingSelectionPhase(),
+        ExecutionPhase(),
+        CompressionPhase(),
+        AggregationPhase(),
+        MeasurementPhase(),
+    ]

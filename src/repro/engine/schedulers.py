@@ -1,0 +1,292 @@
+"""Pluggable round schedulers: sync, async/buffered, failure-injection.
+
+A scheduler decides what one call to ``FLServer.run_round`` means:
+
+``sync``
+    One Algorithm 1 round through the default phase pipeline — bit-identical
+    to the pre-refactor monolithic loop (pinned by the engine golden test).
+
+``async``
+    FedBuff-style buffered asynchrony (Nguyen et al., 2022).  Clients train
+    on their own clocks: the server keeps ``async_concurrency`` clients in
+    flight, each training from the global state *at its dispatch time*.
+    Finish events (download + compute + upload, via the existing
+    :class:`~repro.fl.simulator.CandidateTimings` latency model) are popped
+    from an event queue; every ``async_buffer_size`` arrivals the server
+    aggregates the buffer with staleness-discounted weights
+    ``(1 + τ)^(−async_staleness_alpha)`` (normalized), where τ counts global
+    updates applied since the client's dispatch.  One ``run_round`` call ==
+    one buffer flush == one :class:`~repro.fl.metrics.RoundRecord`, whose
+    ``mean_update_staleness`` reports the buffer's mean τ.  Sticky-group
+    rebalancing and inverse-propensity weighting are sync-only concepts and
+    are not applied here; replacement dispatch samples uniformly from the
+    online pool (``ClientSampler.sample_replacements``).
+
+``failure``
+    The sync pipeline plus injected failure bursts: every
+    ``failure_burst_every``-th round, a dropout burst
+    (``failure_burst_dropout`` extra mid-round dropout) and a straggler
+    storm (``failure_straggler_fraction`` of candidates slowed by
+    ``failure_straggler_slowdown``×) hit the timing phase, both drawn from
+    the availability trace's RNG.  Burst rounds are flagged in
+    ``RoundRecord.injected_failure``; pair with
+    ``RunConfig.skip_empty_rounds`` so a burst that wipes out every
+    candidate records a zero-participant round instead of aborting.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.context import RoundContext
+from repro.engine.engine import RoundEngine
+from repro.engine.phases import (
+    apply_aggregate,
+    compress_results,
+    downstream_sync_bytes,
+    nominal_upstream_bytes,
+    scheduled_accuracy,
+)
+from repro.fl.aggregation import staleness_discounted_weights
+from repro.fl.metrics import RoundRecord
+from repro.fl.simulator import CandidateTimings
+from repro.runtime.backends import ClientTask
+
+__all__ = [
+    "SCHEDULERS",
+    "Scheduler",
+    "SyncScheduler",
+    "AsyncBufferedScheduler",
+    "FailureInjectionScheduler",
+    "create_scheduler",
+]
+
+SCHEDULERS = ("sync", "async", "failure")
+
+
+class Scheduler:
+    """Base interface: one ``run_round`` call advances the run by one record."""
+
+    name: str = "base"
+
+    def setup(self, server) -> None:
+        """Bind scheduler state to a server (called once from ``FLServer``)."""
+
+    def run_round(self, server) -> RoundRecord:
+        raise NotImplementedError
+
+
+class SyncScheduler(Scheduler):
+    """The default: one synchronous round through the phase engine."""
+
+    name = "sync"
+
+    def __init__(self, engine: Optional[RoundEngine] = None):
+        self.engine = engine if engine is not None else RoundEngine()
+
+    def run_round(self, server) -> RoundRecord:
+        server.round_idx += 1
+        ctx = RoundContext(round_idx=server.round_idx)
+        return self.engine.run_round(server, ctx)
+
+
+class FailureInjectionScheduler(SyncScheduler):
+    """Sync rounds with periodic dropout bursts + straggler storms."""
+
+    name = "failure"
+
+    def __init__(self, engine: Optional[RoundEngine] = None):
+        super().__init__(engine)
+        self.engine.add_before("timing", self._inject)
+
+    @staticmethod
+    def _inject(server, ctx: RoundContext) -> None:
+        cfg = server.config
+        every = cfg.failure_burst_every
+        if every and ctx.round_idx % every == 0:
+            ctx.extra_dropout_prob = cfg.failure_burst_dropout
+            ctx.straggler_fraction = cfg.failure_straggler_fraction
+            ctx.straggler_slowdown = cfg.failure_straggler_slowdown
+            ctx.injected_failure = True
+
+
+@dataclass
+class _InFlightJob:
+    """One dispatched client: where it started and how long it will take."""
+
+    client_id: int
+    lr: float
+    start_version: int
+    #: dispatch-time global state (references, not copies: the server
+    #: replaces — never mutates — its global arrays on update)
+    params: np.ndarray
+    buffers: np.ndarray
+    download_s: float
+    compute_s: float
+    upload_s: float
+
+
+class AsyncBufferedScheduler(Scheduler):
+    """FedBuff-style buffered-asynchronous aggregation (see module docs)."""
+
+    name = "async"
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int]] = []  # (finish, seq, cid)
+        self._in_flight: Dict[int, _InFlightJob] = {}
+        self._seq = 0
+        self._now = 0.0
+        self._last_flush = 0.0
+        # accounting accumulated between flushes
+        self._pending_down = 0
+        self._pending_candidates = 0
+        self._pending_stale_fracs: List[float] = []
+
+    def setup(self, server) -> None:
+        cfg = server.config
+        self.buffer_size = cfg.async_buffer_size
+        self.concurrency = cfg.async_concurrency or server.sampler.k
+        self.alpha = cfg.async_staleness_alpha
+
+    # -- dispatch ---------------------------------------------------------------
+    def _dispatch(self, server, round_idx: int) -> None:
+        """Top the in-flight pool back up to the concurrency target."""
+        want = self.concurrency - len(self._in_flight)
+        if want <= 0:
+            return
+        cfg = server.config
+        available = server.availability.online(round_idx)
+        exclude = np.fromiter(
+            self._in_flight.keys(), dtype=np.int64, count=len(self._in_flight)
+        )
+        new = server.sampler.sample_replacements(available, exclude, want)
+        if len(new) == 0:
+            return
+
+        _, down = downstream_sync_bytes(server, new)
+        self._pending_down += int(down.sum())
+        self._pending_candidates += len(new)
+        self._pending_stale_fracs.extend(
+            (server.staleness.stale_counts(new) / server.staleness.d).tolist()
+        )
+        server.staleness.mark_synced(new)
+
+        up_nominal = nominal_upstream_bytes(server)
+        timings = CandidateTimings(
+            client_ids=new,
+            download_s=server.links.download_seconds_many(new, down),
+            compute_s=server.compute.round_seconds_many(
+                new, cfg.local_steps, server.model_scale
+            ),
+            upload_s=server.links.upload_seconds_many(
+                new, np.full(len(new), up_nominal)
+            ),
+        )
+        lr = server.lr_schedule.at_round(round_idx - 1)
+        finish = self._now + timings.finish_s
+        for i, cid in enumerate(new):
+            cid = int(cid)
+            self._in_flight[cid] = _InFlightJob(
+                client_id=cid,
+                lr=lr,
+                start_version=server.staleness.version,
+                params=server.global_params,
+                buffers=server.global_buffers,
+                download_s=float(timings.download_s[i]),
+                compute_s=float(timings.compute_s[i]),
+                upload_s=float(timings.upload_s[i]),
+            )
+            heapq.heappush(self._heap, (float(finish[i]), self._seq, cid))
+            self._seq += 1
+
+    # -- one buffer flush --------------------------------------------------------
+    def run_round(self, server) -> RoundRecord:
+        cfg = server.config
+        server.round_idx += 1
+        t = server.round_idx
+        server.strategy.begin_round(t)
+        self._dispatch(server, t)
+
+        arrivals: List[Tuple[_InFlightJob, object]] = []
+        while len(arrivals) < self.buffer_size and self._heap:
+            finish, _, cid = heapq.heappop(self._heap)
+            self._now = max(self._now, finish)
+            job = self._in_flight.pop(cid)
+            if not bool(server.availability.survives_round(np.array([cid]))[0]):
+                self._dispatch(server, t)  # lost mid-round; refill and move on
+                continue
+            task = ClientTask(client_id=cid, lr=job.lr, round_idx=t)
+            result = server.backend.run_clients([task], job.params, job.buffers)[0]
+            arrivals.append((job, result))
+            self._dispatch(server, t)
+
+        if not arrivals:
+            if cfg.skip_empty_rounds:
+                return self._flush_record(server, t, arrivals, None, [])
+            raise RuntimeError(
+                f"round {t}: no clients available to fill the buffer"
+            )
+
+        # --- staleness-discounted aggregation of the buffer ---
+        taus = np.array(
+            [server.staleness.version - job.start_version for job, _ in arrivals]
+        )
+        weights = staleness_discounted_weights(taus, self.alpha)
+        payloads, buffer_deltas, losses, up_bytes_total = compress_results(
+            server, [result for _, result in arrivals], weights
+        )
+        agg = apply_aggregate(server, payloads, buffer_deltas)
+        server.strategy.end_round(agg, t)
+        return self._flush_record(server, t, arrivals, taus, losses, up_bytes_total)
+
+    def _flush_record(
+        self, server, t, arrivals, taus, losses, up_bytes_total: int = 0
+    ) -> RoundRecord:
+        accuracy = scheduled_accuracy(server, t, self._pending_down)
+        record = RoundRecord(
+            round_idx=t,
+            down_bytes=self._pending_down,
+            up_bytes=up_bytes_total,
+            round_seconds=self._now - self._last_flush,
+            download_seconds=max(
+                (job.download_s for job, _ in arrivals), default=0.0
+            ),
+            compute_seconds=max(
+                (job.compute_s for job, _ in arrivals), default=0.0
+            ),
+            upload_seconds=max(
+                (job.upload_s for job, _ in arrivals), default=0.0
+            ),
+            num_candidates=self._pending_candidates,
+            num_participants=len(arrivals),
+            mean_stale_fraction=(
+                float(np.mean(self._pending_stale_fracs))
+                if self._pending_stale_fracs
+                else 0.0
+            ),
+            train_loss=float(np.mean(losses)) if losses else 0.0,
+            accuracy=accuracy,
+            mean_update_staleness=(
+                float(np.mean(taus)) if taus is not None and len(taus) else None
+            ),
+        )
+        self._pending_down = 0
+        self._pending_candidates = 0
+        self._pending_stale_fracs = []
+        self._last_flush = self._now
+        return record
+
+
+def create_scheduler(name: str) -> Scheduler:
+    """Build the scheduler selected by ``RunConfig.scheduler``."""
+    if name == "sync":
+        return SyncScheduler()
+    if name == "async":
+        return AsyncBufferedScheduler()
+    if name == "failure":
+        return FailureInjectionScheduler()
+    raise ValueError(f"unknown scheduler {name!r}; expected {SCHEDULERS}")

@@ -4,6 +4,7 @@ from repro.fl.aggregation import (
     aggregate_buffer_deltas,
     equal_weights,
     fedavg_weights,
+    staleness_discounted_weights,
     sticky_weights,
 )
 from repro.fl.client import LocalResult, LocalTrainer
@@ -43,5 +44,6 @@ __all__ = [
     "fedavg_weights",
     "sticky_weights",
     "equal_weights",
+    "staleness_discounted_weights",
     "aggregate_buffer_deltas",
 ]

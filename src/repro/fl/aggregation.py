@@ -21,6 +21,7 @@ __all__ = [
     "fedavg_weights",
     "sticky_weights",
     "equal_weights",
+    "staleness_discounted_weights",
     "aggregate_buffer_deltas",
 ]
 
@@ -66,6 +67,23 @@ def equal_weights(participant_ids: np.ndarray) -> np.ndarray:
     if k == 0:
         return np.empty(0)
     return np.full(k, 1.0 / k)
+
+
+def staleness_discounted_weights(
+    staleness: np.ndarray, alpha: float
+) -> np.ndarray:
+    """FedBuff-style normalized weights ``s(τ) = (1 + τ)^(−α)``.
+
+    ``staleness`` counts global updates applied between a client's dispatch
+    and its arrival; ``alpha = 0`` degenerates to an unweighted mean over
+    the buffer.  Used by the async/buffered scheduler.
+    """
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    s = (1.0 + np.asarray(staleness, dtype=np.float64)) ** (-alpha)
+    if len(s) == 0:
+        return s
+    return s / s.sum()
 
 
 def aggregate_buffer_deltas(buffer_deltas: Sequence[np.ndarray]) -> np.ndarray:

@@ -33,6 +33,16 @@ class RunConfig:
       the whole hot path (model, training, compression, aggregation) in
       single precision for a large CPU speedup at FL-irrelevant accuracy
       cost.
+
+    Scheduling knobs (see :mod:`repro.engine.schedulers`):
+
+    * ``scheduler`` — the round shape: ``"sync"`` (default, Algorithm 1),
+      ``"async"`` (FedBuff-style buffered asynchrony; one round == one
+      buffer flush of ``async_buffer_size`` arrivals, weighted by
+      ``(1 + τ)^(−async_staleness_alpha)``), or ``"failure"`` (sync rounds
+      with periodic dropout bursts + straggler storms).
+    * ``skip_empty_rounds`` — survive rounds where nobody's update arrives
+      by recording a zero-participant round instead of raising.
     """
 
     # workload
@@ -78,6 +88,29 @@ class RunConfig:
     backend_workers: Optional[int] = None
     dtype: str = "float64"  # "float64" | "float32"
 
+    # round scheduling (repro.engine)
+    #: round shape: "sync" (Algorithm 1), "async" (FedBuff-style buffered
+    #: asynchrony), or "failure" (sync + injected dropout bursts/straggler
+    #: storms); see :mod:`repro.engine.schedulers` for semantics
+    scheduler: str = "sync"
+    #: record a zero-participant RoundRecord and continue instead of
+    #: aborting when no participant survives a round
+    skip_empty_rounds: bool = False
+    #: async: aggregate every M client arrivals
+    async_buffer_size: int = 5
+    #: async: clients kept in flight (default: the sampler's K)
+    async_concurrency: Optional[int] = None
+    #: async: staleness-discount exponent α in ``(1 + τ)^(−α)``
+    async_staleness_alpha: float = 0.5
+    #: failure: inject a burst every Nth round (0 disables)
+    failure_burst_every: int = 5
+    #: failure: extra mid-round dropout probability during a burst
+    failure_burst_dropout: float = 0.75
+    #: failure: fraction of candidates slowed by a straggler storm
+    failure_straggler_fraction: float = 0.3
+    #: failure: compute-time multiplier for storm-hit candidates
+    failure_straggler_slowdown: float = 4.0
+
     # evaluation
     eval_every: int = 5
     eval_batch: int = 256
@@ -112,6 +145,22 @@ class RunConfig:
             raise ValueError("backend_workers must be positive")
         if self.dtype not in ("float32", "float64"):
             raise ValueError(f"unknown dtype {self.dtype!r}")
+        if self.scheduler not in ("sync", "async", "failure"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.async_buffer_size <= 0:
+            raise ValueError("async_buffer_size must be positive")
+        if self.async_concurrency is not None and self.async_concurrency <= 0:
+            raise ValueError("async_concurrency must be positive")
+        if self.async_staleness_alpha < 0:
+            raise ValueError("async_staleness_alpha must be non-negative")
+        if self.failure_burst_every < 0:
+            raise ValueError("failure_burst_every must be >= 0")
+        if not 0.0 <= self.failure_burst_dropout <= 1.0:
+            raise ValueError("failure_burst_dropout must be in [0, 1]")
+        if not 0.0 <= self.failure_straggler_fraction <= 1.0:
+            raise ValueError("failure_straggler_fraction must be in [0, 1]")
+        if self.failure_straggler_slowdown < 1.0:
+            raise ValueError("failure_straggler_slowdown must be >= 1")
         if self.sampler.k > self.dataset.num_clients:
             raise ValueError(
                 f"K={self.sampler.k} exceeds federation size "

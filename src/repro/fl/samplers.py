@@ -67,6 +67,28 @@ class ClientSampler:
     ) -> None:
         """Notify the sampler which candidates actually participated."""
 
+    def sample_replacements(
+        self, available: np.ndarray, exclude: np.ndarray, count: int
+    ) -> np.ndarray:
+        """Draw up to ``count`` fresh clients for an async dispatch wave.
+
+        Uniform over the online pool minus ``exclude`` (in-flight clients);
+        the async scheduler is sampler-agnostic, so the base implementation
+        serves sticky samplers too (sticky quotas are a synchronous-round
+        concept).  Returns fewer than ``count`` ids when the pool runs dry.
+        """
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        pool = np.flatnonzero(available)
+        if len(exclude):
+            pool = pool[~np.isin(pool, exclude)]
+        if len(pool) == 0:
+            return np.empty(0, dtype=np.int64)
+        take = min(count, len(pool))
+        return self._rng.choice(pool, size=take, replace=False).astype(
+            np.int64
+        )
+
     @staticmethod
     def _extras(overcommit: float, k: int) -> int:
         if overcommit < 1.0:

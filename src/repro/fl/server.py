@@ -1,32 +1,34 @@
-"""The FL server: Algorithm 1/2/3's round loop with full systems accounting.
+"""The FL server: state-holder + driver for the phase-based round engine.
 
-One :class:`FLServer` instance owns the global model, the strategy, the
-sampler, and all substrate models (bandwidth, compute, availability,
-staleness).  Each round:
+Since the engine refactor, :class:`FLServer` no longer owns a round loop.
+It owns the *state* — global model, strategy, sampler, and the substrate
+models (bandwidth, compute, availability, staleness) — and delegates every
+``run_round`` call to a :class:`~repro.engine.schedulers.Scheduler` chosen
+by ``RunConfig.scheduler``:
 
-1.  the sampler draws over-committed candidates (sticky + non-sticky);
-2.  every contacted candidate downloads its stale coordinates plus the
-    strategy's mask overhead (downstream accounting) and is marked synced;
-3.  the timing simulator keeps the first-K finishers per bucket;
-4.  participants run local SGD and compress their deltas (upstream
-    accounting);
-5.  the strategy aggregates with inverse-propensity (or equal) weights,
-    the global model moves, BN buffers are averaged (Appendix D), the
-    staleness ledger records the changed coordinates;
-6.  the sampler rebalances its sticky group and the strategy shifts its
-    masks.
+* ``"sync"`` drives the seven-phase :class:`~repro.engine.engine.RoundEngine`
+  (sampling → sync accounting → timing/selection → execution → compression
+  → aggregation → measurement) — a faithful, bit-identical decomposition of
+  Algorithm 1's round (pinned by ``tests/engine/test_round_engine.py``);
+* ``"async"`` runs FedBuff-style buffered asynchrony over an event queue of
+  client finish times;
+* ``"failure"`` replays the sync pipeline under injected dropout bursts and
+  straggler storms.
+
+Phases and scheduler hooks reach the state through this object (``server``
+in their signatures); anything per-round lives in the
+:class:`~repro.engine.context.RoundContext` instead, so no stale round
+state ever survives on the server.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
-from repro.compression.base import ClientPayload
 from repro.fl.aggregation import (
-    aggregate_buffer_deltas,
     equal_weights,
     fedavg_weights,
     sticky_weights,
@@ -34,15 +36,13 @@ from repro.fl.aggregation import (
 from repro.fl.client import LocalTrainer
 from repro.fl.config import RunConfig
 from repro.fl.metrics import RoundRecord, RunResult
-from repro.fl.samplers import SampleDraw, StickySampler
-from repro.fl.simulator import CandidateTimings, select_participants
+from repro.fl.samplers import StickySampler
 from repro.fl.staleness import StalenessTracker
-from repro.network.encoding import dense_bytes
 from repro.network.profiles import get_profile
 from repro.network.transfer import ClientLinks
 from repro.nn.flat import FlatParamView
 from repro.nn.models import build_model
-from repro.runtime.backends import ClientTask, WorkerSpec, create_backend
+from repro.runtime.backends import WorkerSpec, create_backend
 from repro.runtime.dtype import resolve_dtype
 from repro.traces.availability import AvailabilityTrace, always_available
 from repro.traces.compute import ComputeTrace
@@ -53,7 +53,7 @@ __all__ = ["FLServer", "run_training"]
 
 
 class FLServer:
-    """Owns the global model and executes the training rounds."""
+    """Owns the global model and training state; schedulers drive it."""
 
     def __init__(self, config: RunConfig):
         config.validate()
@@ -75,8 +75,13 @@ class FLServer:
         )
         self.view = FlatParamView(self.model)
         self.d = self.view.num_trainable
+        # the globals are replaced (never mutated) on every update — async
+        # in-flight jobs keep references as dispatch-time snapshots — so
+        # they stay read-only for their whole lifetime
         self.global_params = self.view.get_flat()
+        self.global_params.flags.writeable = False
         self.global_buffers = self.view.get_buffers_flat()
+        self.global_buffers.flags.writeable = False
 
         self.strategy = config.strategy
         self.strategy.setup(self.d, self.rngs("strategy"), dtype=self.dtype)
@@ -132,28 +137,44 @@ class FLServer:
         self.logger = RunLogger(echo=config.log_echo)
         self.round_idx = 0
 
+        # local import: repro.engine's phases import repro.fl submodules, so
+        # a module-level import here would cycle through repro.fl.__init__
+        from repro.engine import create_scheduler
+
+        self.scheduler = create_scheduler(config.scheduler)
+        self.scheduler.setup(self)
+
     # -- weights ---------------------------------------------------------------
     def _weights_for(
         self, sticky_ids: np.ndarray, nonsticky_ids: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Aggregation weights ν for the two participant buckets."""
+        """Aggregation weights ν for the two participant buckets.
+
+        Empty buckets come back as empty arrays in the run-level ``dtype``
+        (non-empty weights stay float64: they are consumed one scalar at a
+        time, and the paper's weight arithmetic is precision-insensitive).
+        """
+        empty = np.empty(0, dtype=self.dtype)
         if self.config.weight_mode == "equal":
             all_ids = np.concatenate([sticky_ids, nonsticky_ids])
             w = equal_weights(all_ids)
-            return w[: len(sticky_ids)], w[len(sticky_ids) :]
+            n_sticky = len(sticky_ids)
+            return (
+                w[:n_sticky] if n_sticky else empty,
+                w[n_sticky:] if len(nonsticky_ids) else empty,
+            )
         if isinstance(self.sampler, StickySampler) and len(sticky_ids):
-            return sticky_weights(
+            nu_s, nu_r = sticky_weights(
                 self.p,
                 sticky_ids,
                 nonsticky_ids,
                 group_size=self.sampler.group_size,
                 num_clients=self.n,
             )
+            return nu_s, nu_r if len(nu_r) else empty
         # uniform sampling: Eq. 2
-        return (
-            np.empty(0),
-            fedavg_weights(self.p, nonsticky_ids, self.n),
-        )
+        nu_r = fedavg_weights(self.p, nonsticky_ids, self.n)
+        return empty, nu_r if len(nu_r) else empty
 
     # -- evaluation ---------------------------------------------------------------
     def evaluate(self) -> float:
@@ -180,135 +201,9 @@ class FLServer:
 
     # -- one round ------------------------------------------------------------------
     def run_round(self) -> RoundRecord:
-        cfg = self.config
-        self.round_idx += 1
-        t = self.round_idx
-        self.strategy.begin_round(t)
-
-        available = self.availability.online(t)
-        draw: SampleDraw = self.sampler.draw(t, available, cfg.overcommit)
-        candidates = draw.candidates
-
-        # --- downstream: stale-coordinate sync + strategy mask overhead ---
-        sync_bytes = self.staleness.download_bytes_many(candidates)
-        extra = self.strategy.downstream_extra_bytes()
-        if cfg.count_buffer_sync and self.view.num_buffer:
-            extra += dense_bytes(self.view.num_buffer)
-        down_per_client = sync_bytes + extra
-        down_bytes_total = int(down_per_client.sum())
-        mean_stale = self.staleness.mean_staleness_fraction(candidates)
-        sync_details = None
-        if cfg.collect_sync_details:
-            # one model update is applied per round, so version == round gap
-            sync_details = [
-                (
-                    int(cid),
-                    int(self.staleness.version - self.staleness.last_sync[cid])
-                    if self.staleness.last_sync[cid] >= 0
-                    else -1,
-                    int(nbytes),
-                )
-                for cid, nbytes in zip(candidates, sync_bytes)
-            ]
-        self.staleness.mark_synced(candidates)
-
-        # --- timing: download + compute + upload estimate per candidate ---
-        up_nominal = self.strategy.nominal_upstream_bytes()
-        if cfg.count_buffer_sync and self.view.num_buffer:
-            up_nominal += dense_bytes(self.view.num_buffer)
-
-        def timings_for(ids: np.ndarray, down: np.ndarray) -> CandidateTimings:
-            return CandidateTimings(
-                client_ids=ids,
-                download_s=self.links.download_seconds_many(ids, down),
-                compute_s=self.compute.round_seconds_many(
-                    ids, cfg.local_steps, self.model_scale
-                ),
-                upload_s=self.links.upload_seconds_many(
-                    ids, np.full(len(ids), up_nominal)
-                ),
-            )
-
-        n_sticky = len(draw.sticky)
-        sticky_t = timings_for(draw.sticky, down_per_client[:n_sticky])
-        nonsticky_t = timings_for(draw.nonsticky, down_per_client[n_sticky:])
-        selection = select_participants(
-            sticky_t,
-            nonsticky_t,
-            draw.quota_sticky,
-            draw.quota_nonsticky,
-            self.availability.survives_round(draw.sticky),
-            self.availability.survives_round(draw.nonsticky),
-        )
-
-        # --- local training (via the execution backend) + compression ---
-        nu_s, nu_r = self._weights_for(selection.sticky_ids, selection.nonsticky_ids)
-        lr = self.lr_schedule.at_round(t - 1)
-        all_weights = np.concatenate([nu_s, nu_r])
-        tasks = [
-            ClientTask(client_id=int(cid), lr=lr, round_idx=t)
-            for cid in np.concatenate(
-                [selection.sticky_ids, selection.nonsticky_ids]
-            )
-        ]
-        results = self.backend.run_clients(
-            tasks, self.global_params, self.global_buffers
-        )
-
-        # compression + aggregation stay in the server process, in task
-        # order, so every backend is bit-identical to serial execution
-        payloads: List[Tuple[int, float, ClientPayload]] = []
-        buffer_deltas = []
-        up_bytes_total = 0
-        losses = []
-        for result, weight in zip(results, all_weights):
-            payload = self.strategy.client_compress(
-                result.client_id, result.delta, float(weight)
-            )
-            payloads.append((result.client_id, float(weight), payload))
-            buffer_deltas.append(result.buffer_delta)
-            up_bytes_total += payload.upstream_bytes
-            losses.append(result.mean_loss)
-        if cfg.count_buffer_sync and self.view.num_buffer:
-            up_bytes_total += dense_bytes(self.view.num_buffer) * len(payloads)
-
-        if not payloads:
-            raise RuntimeError(f"round {t}: no participants survived")
-
-        # --- aggregation + model update ---
-        agg = self.strategy.aggregate(payloads)
-        self.global_params = self.global_params + agg.global_delta
-        if self.view.num_buffer and buffer_deltas:
-            self.global_buffers = self.global_buffers + aggregate_buffer_deltas(
-                buffer_deltas
-            )
-        self.staleness.record_update(agg.changed_idx)
-        self.sampler.complete_round(selection.sticky_ids, selection.nonsticky_ids)
-        self.strategy.end_round(agg, t)
-
-        # --- measurement ---
-        accuracy = None
-        if t % cfg.eval_every == 0 or t == cfg.rounds:
-            accuracy = self.evaluate()
-            self.logger.log(
-                "eval", round=t, accuracy=round(accuracy, 4),
-                down_gb=round(down_bytes_total / 1e9, 4),
-            )
-        return RoundRecord(
-            round_idx=t,
-            down_bytes=down_bytes_total,
-            up_bytes=up_bytes_total,
-            round_seconds=selection.round_seconds,
-            download_seconds=selection.download_seconds,
-            compute_seconds=selection.compute_seconds,
-            upload_seconds=selection.upload_seconds,
-            num_candidates=len(candidates),
-            num_participants=selection.count,
-            mean_stale_fraction=mean_stale,
-            train_loss=float(np.mean(losses)),
-            accuracy=accuracy,
-            sync_details=sync_details,
-        )
+        """Advance the run by one scheduler round (sync: one Algorithm 1
+        round; async: one buffer flush) and return its record."""
+        return self.scheduler.run_round(self)
 
     # -- lifecycle ----------------------------------------------------------------------
     @property
@@ -355,6 +250,7 @@ class FLServer:
                 "k": self.sampler.k,
                 "rounds": cfg.rounds,
                 "seed": cfg.seed,
+                "scheduler": self.scheduler.name,
             }
         )
         try:

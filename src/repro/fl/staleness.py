@@ -63,6 +63,18 @@ class StalenessTracker:
         lookup = suffix[np.minimum(last + 1, self.version + 1)]
         return np.where(last < 0, self.d, lookup).astype(np.int64, copy=False)
 
+    def sync_gaps(self, client_ids: np.ndarray) -> np.ndarray:
+        """Versions elapsed since each client's last sync (−1 = never).
+
+        Vectorized source of the ``gap_rounds`` column of
+        ``RoundRecord.sync_details``: under the sync scheduler exactly one
+        update is applied per round, so the version gap is the round gap.
+        """
+        last = self.last_sync[np.asarray(client_ids)]
+        return np.where(last < 0, -1, self.version - last).astype(
+            np.int64, copy=False
+        )
+
     def stale_positions(self, client_id: int) -> np.ndarray:
         """Exact coordinate set the client must download (diagnostics)."""
         last = self.last_sync[client_id]

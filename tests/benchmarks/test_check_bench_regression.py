@@ -1,0 +1,70 @@
+"""Unit tests for the perf-regression gate's diff logic (no bench runs)."""
+
+import importlib.util
+from pathlib import Path
+
+SCRIPT = (
+    Path(__file__).resolve().parents[2]
+    / "benchmarks"
+    / "check_bench_regression.py"
+)
+spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+cbr = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(cbr)
+
+
+def report(micro=None, e2e=None):
+    return {"micro": micro or {}, "e2e": e2e or {}}
+
+
+def test_within_tolerance_passes():
+    base = report(micro={"topk_s": 1.0})
+    cand = report(micro={"topk_s": 1.2})
+    regressions, notes = cbr.compare(base, cand, tolerance=0.25)
+    assert regressions == []
+    assert any("ok" in n for n in notes)
+
+
+def test_slowdown_beyond_tolerance_fails():
+    base = report(micro={"topk_s": 1.0})
+    cand = report(micro={"topk_s": 1.5})
+    regressions, _ = cbr.compare(base, cand, tolerance=0.25)
+    assert len(regressions) == 1
+    assert "REGRESSED" in regressions[0]
+    assert "micro.topk_s" in regressions[0]
+
+
+def test_e2e_seconds_compared_and_new_keys_are_notes():
+    base = report(e2e={"serial": {"seconds": 2.0, "final_accuracy": 0.32}})
+    cand = report(
+        e2e={
+            "serial": {"seconds": 5.0, "final_accuracy": 0.32},
+            "async": {"seconds": 1.0, "final_accuracy": 0.30},
+        }
+    )
+    regressions, notes = cbr.compare(base, cand, tolerance=0.25)
+    assert any("e2e.serial.seconds" in r for r in regressions)
+    # a combo with no baseline never fails the gate
+    assert any(n.startswith("NEW") and "async" in n for n in notes)
+
+
+def test_missing_candidate_key_is_note_not_failure():
+    base = report(micro={"gone_s": 1.0})
+    cand = report(micro={})
+    regressions, notes = cbr.compare(base, cand, tolerance=0.25)
+    assert regressions == []
+    assert any(n.startswith("MISSING") for n in notes)
+
+
+def test_accuracy_drift_fails():
+    base = report(e2e={"serial": {"seconds": 1.0, "final_accuracy": 0.32}})
+    cand = report(e2e={"serial": {"seconds": 1.0, "final_accuracy": 0.10}})
+    regressions, _ = cbr.compare(base, cand, tolerance=0.25)
+    assert any("DRIFTED" in r for r in regressions)
+
+
+def test_speedup_is_not_a_regression():
+    base = report(micro={"topk_s": 1.0})
+    cand = report(micro={"topk_s": 0.5})
+    regressions, _ = cbr.compare(base, cand, tolerance=0.25)
+    assert regressions == []

@@ -1,0 +1,270 @@
+"""Behavioral tests for the async/buffered and failure-injection schedulers,
+plus the RoundEngine hook machinery and empty-round survival."""
+
+import numpy as np
+import pytest
+
+from repro.compression import FedAvgStrategy, STCStrategy
+from repro.core import make_gluefl
+from repro.engine import (
+    RoundContext,
+    RoundEngine,
+    create_scheduler,
+)
+from repro.fl import (
+    FLServer,
+    RunConfig,
+    UniformSampler,
+    run_training,
+    staleness_discounted_weights,
+)
+from repro.traces.availability import AvailabilityTrace
+
+
+def make_config(dataset, **overrides):
+    params = dict(
+        dataset=dataset,
+        model_name="mlp",
+        model_kwargs={"hidden": (16,)},
+        strategy=FedAvgStrategy(),
+        sampler=UniformSampler(5),
+        rounds=10,
+        local_steps=2,
+        batch_size=8,
+        lr=0.05,
+        eval_every=4,
+        seed=3,
+    )
+    params.update(overrides)
+    return RunConfig(**params)
+
+
+# -- async/buffered ---------------------------------------------------------------
+
+
+def test_async_buffered_aggregation_cadence(tiny_dataset):
+    """Every flush aggregates exactly ``async_buffer_size`` arrivals."""
+    cfg = make_config(
+        tiny_dataset,
+        scheduler="async",
+        async_buffer_size=4,
+        async_concurrency=8,
+        always_available=True,
+        dropout_prob=0.0,
+    )
+    result = run_training(cfg)
+    assert result.num_rounds == 10
+    assert (result.series("num_participants") == 4).all()
+    assert (result.series("up_bytes") > 0).all()
+    assert result.meta["scheduler"] == "async"
+
+
+def test_async_records_staleness(tiny_dataset):
+    """Overlapped rounds produce genuinely stale updates — the thing the
+    monolithic sync loop could not express."""
+    cfg = make_config(
+        tiny_dataset,
+        scheduler="async",
+        async_buffer_size=3,
+        async_concurrency=10,
+        always_available=True,
+    )
+    result = run_training(cfg)
+    staleness = [r.mean_update_staleness for r in result.records]
+    assert all(s is not None for s in staleness)
+    assert max(s for s in staleness) > 0.0  # some update arrived late
+    # sync runs never set the field
+    sync = run_training(make_config(tiny_dataset, rounds=3))
+    assert all(r.mean_update_staleness is None for r in sync.records)
+
+
+def test_async_trains_and_accounts(tiny_dataset):
+    cfg = make_config(
+        tiny_dataset,
+        scheduler="async",
+        async_buffer_size=4,
+        rounds=12,
+        always_available=True,
+    )
+    result = run_training(cfg)
+    assert (result.series("down_bytes") > 0).all()
+    assert result.final_accuracy() > 1.0 / tiny_dataset.num_classes
+    assert (result.series("round_seconds") > 0).all()
+
+
+def test_async_with_gluefl_strategy(tiny_dataset):
+    """The mask strategies plug into the async path unchanged."""
+    strategy, sampler = make_gluefl(
+        5, group_size=20, sticky_count=4, q=0.2, q_shr=0.16
+    )
+    cfg = make_config(
+        tiny_dataset,
+        strategy=strategy,
+        sampler=sampler,
+        scheduler="async",
+        async_buffer_size=3,
+        rounds=6,
+    )
+    result = run_training(cfg)
+    assert result.num_rounds == 6
+    assert (result.series("num_participants") == 3).all()
+
+
+def test_async_reproducible(tiny_dataset):
+    ra = run_training(
+        make_config(tiny_dataset, scheduler="async", async_buffer_size=3, rounds=5)
+    )
+    rb = run_training(
+        make_config(tiny_dataset, scheduler="async", async_buffer_size=3, rounds=5)
+    )
+    np.testing.assert_array_equal(
+        ra.series("down_bytes"), rb.series("down_bytes")
+    )
+    np.testing.assert_array_equal(
+        ra.series("round_seconds"), rb.series("round_seconds")
+    )
+
+
+def test_staleness_discounted_weights():
+    w = staleness_discounted_weights(np.array([0, 1, 3]), alpha=1.0)
+    np.testing.assert_allclose(w, np.array([1.0, 0.5, 0.25]) / 1.75)
+    assert w.sum() == pytest.approx(1.0)
+    # alpha 0: unweighted mean
+    np.testing.assert_allclose(
+        staleness_discounted_weights(np.array([0, 5]), 0.0), [0.5, 0.5]
+    )
+    assert len(staleness_discounted_weights(np.array([]), 1.0)) == 0
+    with pytest.raises(ValueError):
+        staleness_discounted_weights(np.array([1]), -0.5)
+
+
+# -- failure injection -------------------------------------------------------------
+
+
+def test_failure_scheduler_records_dropout_rounds(tiny_dataset):
+    """Total-dropout bursts every 3rd round: flagged, zero participants,
+    run survives via skip_empty_rounds."""
+    cfg = make_config(
+        tiny_dataset,
+        scheduler="failure",
+        failure_burst_every=3,
+        failure_burst_dropout=1.0,
+        failure_straggler_fraction=0.0,
+        skip_empty_rounds=True,
+        rounds=9,
+        always_available=True,
+        dropout_prob=0.0,
+    )
+    result = run_training(cfg)
+    assert result.num_rounds == 9
+    burst = [r for r in result.records if r.injected_failure]
+    calm = [r for r in result.records if not r.injected_failure]
+    assert [r.round_idx for r in burst] == [3, 6, 9]
+    assert all(r.num_participants == 0 for r in burst)
+    assert all(r.up_bytes == 0 for r in burst)
+    assert all(r.down_bytes > 0 for r in burst)  # candidates were contacted
+    assert all(r.num_participants == 5 for r in calm)
+
+
+def test_failure_scheduler_straggler_storm(tiny_dataset):
+    """A 100% straggler storm inflates burst-round compute time ~slowdown×."""
+    cfg = make_config(
+        tiny_dataset,
+        scheduler="failure",
+        failure_burst_every=4,
+        failure_burst_dropout=0.0,
+        failure_straggler_fraction=1.0,
+        failure_straggler_slowdown=50.0,
+        rounds=8,
+        always_available=True,
+        dropout_prob=0.0,
+    )
+    result = run_training(cfg)
+    burst = [r.compute_seconds for r in result.records if r.injected_failure]
+    calm = [r.compute_seconds for r in result.records if not r.injected_failure]
+    assert burst and calm
+    assert min(burst) > 10 * max(calm)
+
+
+# -- empty-round survival ----------------------------------------------------------
+
+
+class TotalDropoutTrace(AvailabilityTrace):
+    """Everyone online, but no upload ever arrives."""
+
+    def __init__(self, n):
+        super().__init__(
+            n, np.random.default_rng(0), mean_on_fraction=1.0, dropout_prob=0.0
+        )
+        self._on_fraction = np.ones(n)
+
+    def survives_round(self, client_ids):
+        return np.zeros(len(client_ids), dtype=bool)
+
+
+def test_skip_empty_rounds_records_and_continues(tiny_dataset):
+    cfg = make_config(
+        tiny_dataset,
+        availability_trace=TotalDropoutTrace(tiny_dataset.num_clients),
+        skip_empty_rounds=True,
+        rounds=4,
+    )
+    result = run_training(cfg)
+    assert result.num_rounds == 4
+    assert (result.series("num_participants") == 0).all()
+    assert (result.series("up_bytes") == 0).all()
+    assert (result.series("down_bytes") > 0).all()
+    assert (result.series("train_loss") == 0.0).all()
+
+
+def test_empty_round_still_raises_by_default(tiny_dataset):
+    cfg = make_config(
+        tiny_dataset,
+        availability_trace=TotalDropoutTrace(tiny_dataset.num_clients),
+    )
+    with pytest.raises(RuntimeError, match="no participants survived"):
+        run_training(cfg)
+
+
+# -- engine hooks ------------------------------------------------------------------
+
+
+def test_round_engine_hooks_fire_in_order(tiny_dataset):
+    server = FLServer(make_config(tiny_dataset))
+    engine = RoundEngine()
+    calls = []
+    engine.add_before("sampling", lambda s, c: calls.append("before"))
+    engine.add_after("measurement", lambda s, c: calls.append("after"))
+    server.round_idx += 1
+    record = engine.run_round(server, RoundContext(round_idx=server.round_idx))
+    server.close()
+    assert calls == ["before", "after"]
+    assert record.round_idx == 1
+
+
+def test_round_engine_rejects_unknown_phase():
+    with pytest.raises(ValueError, match="unknown phase"):
+        RoundEngine().add_before("bogus", lambda s, c: None)
+
+
+# -- config plumbing ---------------------------------------------------------------
+
+
+def test_create_scheduler_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        create_scheduler("bogus")
+
+
+def test_config_validates_scheduler_knobs(tiny_dataset):
+    cfg = make_config(tiny_dataset, scheduler="async", async_buffer_size=0)
+    with pytest.raises(ValueError, match="async_buffer_size"):
+        cfg.validate()
+    cfg = make_config(tiny_dataset, scheduler="warp")
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        cfg.validate()
+    cfg = make_config(tiny_dataset, failure_burst_dropout=1.5)
+    with pytest.raises(ValueError, match="failure_burst_dropout"):
+        cfg.validate()
+    cfg = make_config(tiny_dataset, failure_straggler_slowdown=0.5)
+    with pytest.raises(ValueError, match="failure_straggler_slowdown"):
+        cfg.validate()

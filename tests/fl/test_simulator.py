@@ -87,6 +87,47 @@ def test_empty_selection_zero_times():
     assert sel.round_seconds == 0.0
 
 
+def test_quota_zero_per_bucket():
+    """Quota 0 in a bucket selects nobody from it, whatever survives."""
+    sticky = timings([0, 1], [1, 2], [0, 0], [0, 0])
+    non = timings([5, 6], [1, 1], [0, 0], [0, 0])
+    sel = select_participants(sticky, non, 0, 2, alive(2), alive(2))
+    assert len(sel.sticky_ids) == 0
+    assert set(sel.nonsticky_ids) == {5, 6}
+    sel = select_participants(sticky, non, 0, 0, alive(2), alive(2))
+    assert sel.count == 0
+    assert sel.round_seconds == 0.0
+
+
+def test_all_candidates_dropped_mid_round():
+    """Every survivor mask False: empty selection, zero clock."""
+    sticky = timings([0, 1], [1, 2], [0, 0], [0, 0])
+    non = timings([5, 6], [1, 1], [0, 0], [0, 0])
+    dead_s = np.zeros(2, dtype=bool)
+    dead_n = np.zeros(2, dtype=bool)
+    sel = select_participants(sticky, non, 2, 2, dead_s, dead_n)
+    assert sel.count == 0
+    assert sel.round_seconds == 0.0
+    assert sel.download_seconds == 0.0
+
+
+def test_finish_time_ties_stable_order():
+    """Ties broken by candidate position (stable argsort), not id value."""
+    t = timings([30, 10, 20], [1, 1, 1], [0, 0, 0], [0, 0, 0])
+    sel = select_participants(empty(), t, 0, 2, alive(0), alive(3))
+    # all finish at 1.0: the first two *rows* win, in row order
+    np.testing.assert_array_equal(sel.nonsticky_ids, [30, 10])
+
+
+def test_quota_larger_than_survivors():
+    """Quota above the survivor count takes every survivor, no padding."""
+    t = timings([0, 1, 2], [3, 1, 2], [0, 0, 0], [0, 0, 0])
+    survives = np.array([True, False, True])
+    sel = select_participants(empty(), t, 0, 10, alive(0), survives)
+    assert set(sel.nonsticky_ids) == {0, 2}
+    assert sel.round_seconds == pytest.approx(3.0)
+
+
 def test_overcommit_reduces_round_time():
     """The Table 3b effect: more candidates -> faster Kth finisher."""
     rng = np.random.default_rng(0)

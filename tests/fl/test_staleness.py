@@ -83,3 +83,15 @@ def test_validation():
         StalenessTracker(0, 5)
     with pytest.raises(ValueError):
         StalenessTracker(5, 0)
+
+
+def test_sync_gaps_vectorized():
+    tr = StalenessTracker(d=10, num_clients=4)
+    tr.mark_synced(np.array([0, 1]))          # synced at version 0
+    tr.record_update(np.array([0]))           # version 1
+    tr.mark_synced(np.array([1]))             # client 1 re-synced at 1
+    tr.record_update(np.array([1]))           # version 2
+    gaps = tr.sync_gaps(np.array([0, 1, 2]))
+    # client 0: synced at v0, now v2 -> gap 2; client 1: gap 1;
+    # client 2: never contacted -> -1
+    np.testing.assert_array_equal(gaps, [2, 1, -1])

@@ -62,6 +62,54 @@ def test_nobody_online_raises(tiny_dataset):
         run_training(cfg)
 
 
+def test_total_dropout_skippable(tiny_dataset):
+    """skip_empty_rounds turns the mid-flight abort into zero-rounds."""
+    cfg = base_config(
+        tiny_dataset,
+        availability_trace=TotalDropoutTrace(tiny_dataset.num_clients),
+        skip_empty_rounds=True,
+    )
+    result = run_training(cfg)
+    assert result.num_rounds == 3
+    assert (result.series("num_participants") == 0).all()
+
+
+def test_async_nobody_online_raises(tiny_dataset):
+    cfg = base_config(
+        tiny_dataset,
+        availability_trace=NobodyOnlineTrace(tiny_dataset.num_clients),
+        scheduler="async",
+    )
+    with pytest.raises(RuntimeError, match="no clients available"):
+        run_training(cfg)
+
+
+def test_async_nobody_online_skippable(tiny_dataset):
+    cfg = base_config(
+        tiny_dataset,
+        availability_trace=NobodyOnlineTrace(tiny_dataset.num_clients),
+        scheduler="async",
+        skip_empty_rounds=True,
+    )
+    result = run_training(cfg)
+    assert result.num_rounds == 3
+    assert (result.series("num_participants") == 0).all()
+
+
+def test_async_survives_high_dropout(tiny_dataset):
+    """Dropped arrivals are re-dispatched until the buffer fills."""
+    cfg = base_config(
+        tiny_dataset,
+        scheduler="async",
+        async_buffer_size=3,
+        dropout_prob=0.4,
+        rounds=6,
+    )
+    result = run_training(cfg)
+    assert result.num_rounds == 6
+    assert (result.series("num_participants") == 3).all()
+
+
 def test_high_dropout_still_progresses(tiny_dataset):
     """With 40% dropout, over-commitment keeps rounds alive."""
     cfg = base_config(
