@@ -1,0 +1,86 @@
+"""The scheduled performance gate: paper benches + micro-bench regression.
+
+One entry point for a nightly/weekly CI job (the ROADMAP's "scheduled job
+should run ``pytest -m bench`` plus ``check_bench_regression.py``")::
+
+    PYTHONPATH=src python benchmarks/run_bench_gate.py
+        [--tolerance 0.25] [--rounds 20] [--repeats 3]
+        [--skip-paper-benches | --skip-regression]
+        [--pytest-args "-k sampling"]
+
+Stage 1 runs every ``bench``-marked test (the paper-artifact regenerators
+under ``benchmarks/bench_*.py`` — deselected from tier-1 by the repo's
+``pytest.ini``), so qualitative paper claims are re-asserted.  Stage 2
+runs :mod:`benchmarks.check_bench_regression`, timing the hot paths and
+e2e combos against the committed ``BENCH_micro.json`` with a relative
+tolerance.  Exit status is nonzero if either stage fails, so the job
+wires straight into any scheduler (cron, GH Actions ``schedule:``, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent
+
+
+def run_stage(name: str, cmd: list) -> int:
+    print(f"\n=== bench gate: {name} ===\n{' '.join(map(str, cmd))}", flush=True)
+    code = subprocess.run(cmd, cwd=REPO).returncode
+    print(f"=== {name}: {'OK' if code == 0 else f'FAILED (exit {code})'} ===")
+    return code
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="relative slowdown allowed by the regression check",
+    )
+    parser.add_argument("--rounds", type=int, default=20)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--skip-paper-benches", action="store_true",
+        help="only run the micro-bench regression stage",
+    )
+    parser.add_argument(
+        "--skip-regression", action="store_true",
+        help="only run the pytest -m bench stage",
+    )
+    parser.add_argument(
+        "--pytest-args", default="",
+        help="extra args forwarded to the pytest stage (quoted string)",
+    )
+    args = parser.parse_args()
+
+    failures = 0
+    if not args.skip_paper_benches:
+        cmd = [
+            sys.executable, "-m", "pytest", "-m", "bench", "-q",
+            str(HERE),
+        ] + shlex.split(args.pytest_args)
+        failures += run_stage("paper benches (pytest -m bench)", cmd) != 0
+
+    if not args.skip_regression:
+        cmd = [
+            sys.executable, str(HERE / "check_bench_regression.py"),
+            "--tolerance", str(args.tolerance),
+            "--rounds", str(args.rounds),
+            "--repeats", str(args.repeats),
+        ]
+        failures += run_stage("micro-bench regression", cmd) != 0
+
+    if failures:
+        print(f"\nbench gate: {failures} stage(s) failed")
+        return 1
+    print("\nbench gate: all stages passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

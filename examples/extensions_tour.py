@@ -3,13 +3,16 @@
 Run:
     python examples/extensions_tour.py
 
-Four extensions, each motivated by the paper's related-work or footnotes:
+Five extensions, each motivated by the paper's related-work or footnotes:
 
 1. **Diurnal availability** — day/night client churn (FedScale-style)
    interacting with sticky sampling;
 2. **Oort-like utility sampling** — guided participant selection (§6);
 3. **Quantization composed with GlueFL** — footnote 1;
-4. **Multi-seed summaries** — seed-averaged A/B comparison with dispersion.
+4. **Multi-seed summaries** — seed-averaged A/B comparison with dispersion;
+5. **Sampling-policy layer** — norm-aware Optimal Client Sampling
+   (unbiased via Horvitz–Thompson weights the sampler owns) and a
+   budget-annealing Dynamic Sampling wrapper.
 """
 
 import numpy as np
@@ -119,11 +122,51 @@ def demo_multiseed() -> None:
         print("   " + summary.as_row())
 
 
+def demo_sampling_policies() -> None:
+    print("5) sampling-policy layer — norm-aware and annealed budgets")
+    from repro.compression import FedAvgStrategy
+    from repro.fl.extra_samplers import (
+        DynamicScheduleSampler,
+        OptimalClientSampler,
+    )
+
+    ds = dataset()
+    samplers = {
+        "uniform": UniformSampler(K),
+        # inclusion ∝ estimated update norms; weights ν = p/π stay unbiased
+        "ocs": OptimalClientSampler(K),
+        # anneal the budget K → K/2 as the model stabilizes
+        "dynamic": DynamicScheduleSampler(
+            UniformSampler(K), k_min=K // 2, decay=0.95
+        ),
+    }
+    for name, sampler in samplers.items():
+        cfg = RunConfig(
+            dataset=ds,
+            model_name="mlp",
+            model_kwargs={"hidden": (32,)},
+            strategy=FedAvgStrategy(),
+            sampler=sampler,
+            rounds=ROUNDS,
+            local_steps=3,
+            seed=5,
+        )
+        result = run_training(cfg)
+        print(
+            f"   {name:>8}: accuracy {result.final_accuracy():.3f}, "
+            f"up {result.cumulative_up_bytes()[-1] / 1e6:6.1f} MB, "
+            f"participants/round "
+            f"{result.series('num_participants').mean():.1f}"
+        )
+    print()
+
+
 def main() -> None:
     demo_diurnal()
     demo_oort()
     demo_quantization()
     demo_multiseed()
+    demo_sampling_policies()
 
 
 if __name__ == "__main__":

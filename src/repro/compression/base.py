@@ -120,6 +120,16 @@ class CompressionStrategy:
     def end_round(self, agg: AggregateResult, round_idx: int) -> None:
         """Post-aggregation state transitions (mask updates, freezing)."""
 
+    def abort_round(self, round_idx: int) -> None:
+        """Close a round that opened but aggregated nothing.
+
+        Every ``begin_round`` is matched by exactly one of ``end_round``
+        (normal path) or ``abort_round`` (nobody survived a sync round, or
+        an async flush came up empty).  Strategies whose round schedule is
+        stateful (e.g. GlueFL's shared-mask regeneration cadence) use this
+        to keep the schedule from drifting; the default is a no-op.
+        """
+
     # -- helpers ---------------------------------------------------------------
     def _check_setup(self) -> None:
         if self.d <= 0:

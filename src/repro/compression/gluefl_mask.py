@@ -82,6 +82,7 @@ class GlueFLMaskStrategy(CompressionStrategy):
         self.residuals = ResidualStore(error_comp)
         self.mask_idx: np.ndarray = np.empty(0, dtype=np.int64)
         self._regen_round = True  # round 1 has no mask yet
+        self._regen_pending = False  # a scheduled regen missed its round
         self._k_total: int = 0
         self._k_shr: int = 0
 
@@ -93,6 +94,7 @@ class GlueFLMaskStrategy(CompressionStrategy):
             raise ValueError(f"q={self.q} keeps zero of {d} coordinates")
         self.mask_idx = np.empty(0, dtype=np.int64)
         self._regen_round = True
+        self._regen_pending = False
 
     # -- round state ----------------------------------------------------------
     def begin_round(self, round_idx: int) -> None:
@@ -101,7 +103,9 @@ class GlueFLMaskStrategy(CompressionStrategy):
             and round_idx > 1
             and round_idx % self.regen_interval == 0
         )
-        self._regen_round = regen_due or len(self.mask_idx) == 0
+        self._regen_round = (
+            regen_due or self._regen_pending or len(self.mask_idx) == 0
+        )
 
     @property
     def is_regen_round(self) -> bool:
@@ -183,5 +187,17 @@ class GlueFLMaskStrategy(CompressionStrategy):
     def end_round(self, agg: AggregateResult, round_idx: int) -> None:
         # Alg. 3 line 26 / §3.3 regeneration: next mask from this update
         self._check_setup()
+        self._regen_pending = False
         if self._k_shr > 0:
             self.mask_idx = top_k_indices(agg.global_delta, self._k_shr)
+
+    def abort_round(self, round_idx: int) -> None:
+        """An opened round aggregated nothing: keep the regen schedule honest.
+
+        If the aborted round was a regeneration round, the regeneration has
+        not actually happened — re-arm it so the next round that *does*
+        aggregate runs as a regen round instead of silently skipping a
+        whole ``regen_interval``.
+        """
+        if self._regen_round:
+            self._regen_pending = True

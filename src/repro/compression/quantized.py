@@ -64,6 +64,11 @@ class QuantizedStrategy(CompressionStrategy):
     def end_round(self, agg: AggregateResult, round_idx: int) -> None:
         self.inner.end_round(agg, round_idx)
 
+    def abort_round(self, round_idx: int) -> None:
+        # empty-round signal must reach stateful inner schedules (e.g.
+        # GlueFL's pending mask regeneration)
+        self.inner.abort_round(round_idx)
+
     def aggregate(
         self, payloads: Sequence[Tuple[int, float, ClientPayload]]
     ) -> AggregateResult:

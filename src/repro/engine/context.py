@@ -35,6 +35,12 @@ class RoundContext:
     # -- sampling phase --------------------------------------------------------
     available: Optional[np.ndarray] = None
     draw: Any = None
+    #: strategy round-lifecycle ledger: ``begin_round`` ran / the round was
+    #: closed by ``end_round`` or ``abort_round``.  The engine aborts any
+    #: opened-but-unclosed round when a phase raises, so the strategy's
+    #: begin/end/abort pairing survives arbitrary failures.
+    round_opened: bool = False
+    round_closed: bool = False
 
     # -- sync-accounting phase -------------------------------------------------
     down_per_client: Optional[np.ndarray] = None

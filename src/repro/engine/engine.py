@@ -52,11 +52,23 @@ class RoundEngine:
 
     # -- execution ---------------------------------------------------------------
     def run_round(self, server, ctx: RoundContext):
-        """Drive one round through every phase; returns the RoundRecord."""
-        for phase in self.phases:
-            for hook in self._before.get(phase.name, ()):
-                hook(server, ctx)
-            phase.run(server, ctx)
-            for hook in self._after.get(phase.name, ()):
-                hook(server, ctx)
+        """Drive one round through every phase; returns the RoundRecord.
+
+        Enforces the strategy round-lifecycle contract in one place: if
+        any phase or hook raises after ``begin_round`` opened the round
+        (``ctx.round_opened``) and before ``end_round``/``abort_round``
+        closed it (``ctx.round_closed``), the round is aborted so callers
+        that catch the error and keep training hold balanced state.
+        """
+        try:
+            for phase in self.phases:
+                for hook in self._before.get(phase.name, ()):
+                    hook(server, ctx)
+                phase.run(server, ctx)
+                for hook in self._after.get(phase.name, ()):
+                    hook(server, ctx)
+        except Exception:
+            if ctx.round_opened and not ctx.round_closed:
+                server.strategy.abort_round(ctx.round_idx)
+            raise
         return ctx.record

@@ -39,6 +39,7 @@ __all__ = [
     "default_phases",
     "downstream_sync_bytes",
     "nominal_upstream_bytes",
+    "feed_update_norms",
     "compress_results",
     "apply_aggregate",
     "scheduled_accuracy",
@@ -71,9 +72,32 @@ def nominal_upstream_bytes(server) -> int:
     return up
 
 
+def feed_update_norms(server, results) -> None:
+    """Norm-feedback hook: report each participant's raw update magnitude.
+
+    Samplers that opt in via ``wants_update_norms`` (e.g. Optimal Client
+    Sampling) receive ``observe_update(client_id, ‖Δ‖₂)`` for every result
+    that reaches aggregation.  Sitting on the shared compression seam, the
+    feedback flows identically under the sync, async, and failure
+    schedulers; samplers that don't opt in cost nothing.
+    """
+    if not server.sampler.wants_update_norms:
+        return
+    for result in results:
+        server.sampler.observe_update(
+            result.client_id, float(np.linalg.norm(result.delta))
+        )
+
+
 def compress_results(server, results, weights):
     """Compress training results in order; returns
-    ``(payloads, buffer_deltas, losses, up_bytes_total)``."""
+    ``(payloads, buffer_deltas, losses, up_bytes_total)``.
+
+    Also fires the sampler's update-norm feedback (see
+    :func:`feed_update_norms`) — compression is the one seam every
+    scheduler's results pass through.
+    """
+    feed_update_norms(server, results)
     payloads: List[Tuple[int, float, object]] = []
     buffer_deltas: List[np.ndarray] = []
     losses: List[float] = []
@@ -142,6 +166,7 @@ class SamplingPhase(Phase):
 
     def run(self, server, ctx: RoundContext) -> None:
         server.strategy.begin_round(ctx.round_idx)
+        ctx.round_opened = True  # the engine aborts us if a phase raises
         ctx.available = server.availability.online(ctx.round_idx)
         ctx.draw = server.sampler.draw(
             ctx.round_idx, ctx.available, server.config.overcommit
@@ -281,6 +306,7 @@ class CompressionPhase(Phase):
             if server.config.skip_empty_rounds:
                 ctx.empty_round = True
             else:
+                # the engine pairs the opened round via abort_round
                 raise RuntimeError(
                     f"round {ctx.round_idx}: no participants survived"
                 )
@@ -293,12 +319,16 @@ class AggregationPhase(Phase):
 
     def run(self, server, ctx: RoundContext) -> None:
         if ctx.empty_round:
+            # pair the SamplingPhase's begin_round: nothing aggregated
+            server.strategy.abort_round(ctx.round_idx)
+            ctx.round_closed = True
             return
         agg = apply_aggregate(server, ctx.payloads, ctx.buffer_deltas)
         server.sampler.complete_round(
             ctx.selection.sticky_ids, ctx.selection.nonsticky_ids
         )
         server.strategy.end_round(agg, ctx.round_idx)
+        ctx.round_closed = True
         ctx.agg = agg
 
 

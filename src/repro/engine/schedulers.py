@@ -19,8 +19,16 @@ A scheduler decides what one call to ``FLServer.run_round`` means:
     one buffer flush == one :class:`~repro.fl.metrics.RoundRecord`, whose
     ``mean_update_staleness`` reports the buffer's mean τ.  Sticky-group
     rebalancing and inverse-propensity weighting are sync-only concepts and
-    are not applied here; replacement dispatch samples uniformly from the
-    online pool (``ClientSampler.sample_replacements``).
+    are not applied here; replacement dispatch goes through the sampler's
+    own ``sample_replacements`` policy (uniform over the online pool by
+    default; norm-proportional for
+    :class:`~repro.fl.extra_samplers.OptimalClientSampler`).  Arrivals
+    tied at the same finish time from the same dispatch snapshot drain as
+    *one* backend batch, so thread/process backends parallelize them;
+    every ``begin_round`` is paired with ``end_round`` or — when a flush
+    comes up empty — ``abort_round``, keeping stateful mask schedules
+    honest.  The record stream is pinned by
+    ``tests/engine/golden_async.json``.
 
 ``failure``
     The sync pipeline plus injected failure bursts: every
@@ -141,6 +149,7 @@ class AsyncBufferedScheduler(Scheduler):
         self._seq = 0
         self._now = 0.0
         self._last_flush = 0.0
+        self._round_closed = False
         # accounting accumulated between flushes
         self._pending_down = 0
         self._pending_candidates = 0
@@ -203,28 +212,76 @@ class AsyncBufferedScheduler(Scheduler):
             heapq.heappush(self._heap, (float(finish[i]), self._seq, cid))
             self._seq += 1
 
+    # -- event-queue draining ----------------------------------------------------
+    def _pop_batch(self, server, limit: int) -> List[_InFlightJob]:
+        """Pop every surviving job tied at the earliest finish time.
+
+        Events with *equal* finish times and the same dispatch snapshot
+        version trained from identical global state, so they form one
+        batch for ``run_clients`` — this is what lets thread/process
+        backends parallelize simultaneous arrivals instead of receiving
+        one task per call.  Mid-round dropouts are drawn per client in pop
+        order (same RNG stream as draining one by one).
+        """
+        jobs: List[_InFlightJob] = []
+        first_finish: Optional[float] = None
+        version: Optional[int] = None
+        while self._heap and len(jobs) < limit:
+            finish, _, cid = self._heap[0]
+            job = self._in_flight[cid]
+            if first_finish is None:
+                first_finish, version = finish, job.start_version
+            elif finish != first_finish or job.start_version != version:
+                break
+            heapq.heappop(self._heap)
+            self._now = max(self._now, finish)
+            del self._in_flight[cid]
+            if bool(server.availability.survives_round(np.array([cid]))[0]):
+                jobs.append(job)
+        return jobs
+
     # -- one buffer flush --------------------------------------------------------
     def run_round(self, server) -> RoundRecord:
-        cfg = server.config
+        """One flush, with the strategy round-lifecycle enforced: whatever
+        fails between ``begin_round`` and ``end_round`` (empty pool, a
+        crashing backend, ...) the opened round is closed by
+        ``abort_round`` before the error propagates."""
         server.round_idx += 1
         t = server.round_idx
         server.strategy.begin_round(t)
+        self._round_closed = False
+        try:
+            return self._run_flush(server, t)
+        except Exception:
+            if not self._round_closed:
+                server.strategy.abort_round(t)
+            raise
+
+    def _run_flush(self, server, t: int) -> RoundRecord:
+        cfg = server.config
         self._dispatch(server, t)
 
         arrivals: List[Tuple[_InFlightJob, object]] = []
         while len(arrivals) < self.buffer_size and self._heap:
-            finish, _, cid = heapq.heappop(self._heap)
-            self._now = max(self._now, finish)
-            job = self._in_flight.pop(cid)
-            if not bool(server.availability.survives_round(np.array([cid]))[0]):
+            batch = self._pop_batch(server, self.buffer_size - len(arrivals))
+            if not batch:
                 self._dispatch(server, t)  # lost mid-round; refill and move on
                 continue
-            task = ClientTask(client_id=cid, lr=job.lr, round_idx=t)
-            result = server.backend.run_clients([task], job.params, job.buffers)[0]
-            arrivals.append((job, result))
+            tasks = [
+                ClientTask(client_id=job.client_id, lr=job.lr, round_idx=t)
+                for job in batch
+            ]
+            # same snapshot version ⇒ same dispatch-time global arrays
+            results = server.backend.run_clients(
+                tasks, batch[0].params, batch[0].buffers
+            )
+            arrivals.extend(zip(batch, results))
             self._dispatch(server, t)
 
         if not arrivals:
+            # pair this round's begin_round before bailing either way
+            server.strategy.abort_round(t)
+            self._round_closed = True
             if cfg.skip_empty_rounds:
                 return self._flush_record(server, t, arrivals, None, [])
             raise RuntimeError(
@@ -241,6 +298,7 @@ class AsyncBufferedScheduler(Scheduler):
         )
         agg = apply_aggregate(server, payloads, buffer_deltas)
         server.strategy.end_round(agg, t)
+        self._round_closed = True
         return self._flush_record(server, t, arrivals, taus, losses, up_bytes_total)
 
     def _flush_record(

@@ -21,6 +21,7 @@ __all__ = [
     "fedavg_weights",
     "sticky_weights",
     "equal_weights",
+    "horvitz_thompson_weights",
     "staleness_discounted_weights",
     "aggregate_buffer_deltas",
 ]
@@ -67,6 +68,29 @@ def equal_weights(participant_ids: np.ndarray) -> np.ndarray:
     if k == 0:
         return np.empty(0)
     return np.full(k, 1.0 / k)
+
+
+def horvitz_thompson_weights(
+    p: np.ndarray, participant_ids: np.ndarray, inclusion_probs: np.ndarray
+) -> np.ndarray:
+    """General unbiased correction ``ν_i = p_i / π_i`` for unequal-probability
+    sampling (Horvitz & Thompson, 1952).
+
+    ``inclusion_probs`` are the participants' marginal probabilities π_i of
+    being drawn; the estimator ``Σ_{i∈S} ν_i Δ_i`` has expectation
+    ``Σ_i p_i Δ_i`` for *any* positive π.  Eq. 2 is the special case
+    ``π = K/N``; norm-aware sampling (Chen et al., 2020) plugs in its
+    water-filled norm-proportional π.
+    """
+    participant_ids = np.asarray(participant_ids)
+    if len(participant_ids) == 0:
+        return np.empty(0)
+    pi = np.asarray(inclusion_probs, dtype=np.float64)
+    if len(pi) != len(participant_ids):
+        raise ValueError("one inclusion probability per participant required")
+    if (pi <= 0).any():
+        raise ValueError("inclusion probabilities must be positive")
+    return p[participant_ids] / pi
 
 
 def staleness_discounted_weights(

@@ -43,6 +43,20 @@ class RunConfig:
       with periodic dropout bursts + straggler storms).
     * ``skip_empty_rounds`` — survive rounds where nobody's update arrives
       by recording a zero-participant round instead of raising.
+
+    Sampling policy (see :mod:`repro.fl.samplers` for the weight contract):
+
+    * ``sampler`` — any :class:`~repro.fl.samplers.ClientSampler`.  Each
+      sampler owns its aggregation-weight correction, so beyond the
+      paper's :class:`~repro.fl.samplers.UniformSampler` (Eq. 2) and
+      :class:`~repro.fl.samplers.StickySampler` (Eq. 3), the norm-aware
+      :class:`~repro.fl.extra_samplers.OptimalClientSampler`
+      (Horvitz–Thompson weights, fed by the engine's update-norm hook)
+      and the budget-annealing
+      :class:`~repro.fl.extra_samplers.DynamicScheduleSampler` wrapper
+      plug in without server changes.
+    * ``weight_mode="equal"`` — bypass the sampler's correction with the
+      biased ``1/K`` weights of the Fig. 5 "Equal" ablation.
     """
 
     # workload
@@ -129,6 +143,13 @@ class RunConfig:
         return ExponentialDecay(self.lr, self.lr_decay, self.lr_decay_every)
 
     def validate(self) -> None:
+        # the canonical name lists live next to their factories; imported
+        # lazily because repro.engine/runtime modules import repro.fl
+        # submodules (a module-level import here would cycle)
+        from repro.engine.schedulers import SCHEDULERS
+        from repro.runtime.backends import BACKENDS
+        from repro.runtime.dtype import DTYPE_NAMES
+
         if self.rounds <= 0:
             raise ValueError("rounds must be positive")
         if self.weight_mode not in ("unbiased", "equal"):
@@ -137,16 +158,33 @@ class RunConfig:
             raise ValueError("eval_top_k must be 1 or 5")
         if self.overcommit < 1.0:
             raise ValueError("overcommit must be >= 1.0")
-        if self.execution_backend not in ("serial", "thread", "process"):
+        if self.execution_backend not in BACKENDS:
             raise ValueError(
-                f"unknown execution_backend {self.execution_backend!r}"
+                f"unknown execution_backend {self.execution_backend!r}; "
+                f"expected {BACKENDS}"
             )
         if self.backend_workers is not None and self.backend_workers <= 0:
             raise ValueError("backend_workers must be positive")
-        if self.dtype not in ("float32", "float64"):
-            raise ValueError(f"unknown dtype {self.dtype!r}")
-        if self.scheduler not in ("sync", "async", "failure"):
-            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.dtype not in DTYPE_NAMES:
+            raise ValueError(
+                f"unknown dtype {self.dtype!r}; expected {DTYPE_NAMES}"
+            )
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; expected {SCHEDULERS}"
+            )
+        if self.scheduler == "async" and not self.sampler.supports_async:
+            raise ValueError(
+                f"sampler {type(self.sampler).__name__} acts through "
+                "per-round draw() calls, which the async scheduler never "
+                "makes; its policy would be silently ignored"
+            )
+        # same bounds AvailabilityTrace enforces, surfaced before any model
+        # or trace construction happens
+        if not 0.0 < self.mean_on_fraction <= 1.0:
+            raise ValueError("mean_on_fraction must be in (0, 1]")
+        if not 0.0 <= self.dropout_prob < 1.0:
+            raise ValueError("dropout_prob must be in [0, 1)")
         if self.async_buffer_size <= 0:
             raise ValueError("async_buffer_size must be positive")
         if self.async_concurrency is not None and self.async_concurrency <= 0:

@@ -5,15 +5,42 @@ A sampler produces a :class:`SampleDraw` per round: *candidate* client ids
 participation quotas.  The simulator picks the fastest candidates within
 each bucket; after the round, :meth:`ClientSampler.complete_round` lets the
 sticky sampler rebalance its group (Alg. 2 lines 20–21).
+
+The weight contract
+-------------------
+Every sampler *owns its unbiasedness correction*: the server asks
+:meth:`ClientSampler.aggregation_weights` for the per-participant weights
+ν, and the sampler must return weights that make the aggregated update an
+unbiased estimator of the full-participation objective ``Σ p_i Δ_i`` under
+its own sampling distribution (or document its bias, see
+:mod:`repro.fl.extra_samplers`).  The server never special-cases sampler
+types — a new sampling policy only has to implement ``draw`` plus
+``aggregation_weights`` to plug into every scheduler:
+
+* :class:`UniformSampler` → Eq. 2 FedAvg weights ``(N / K) · p_i``;
+* :class:`StickySampler` → Eq. 3 inverse-propensity weights per bucket
+  (falling back to Eq. 2 when the sticky bucket is empty);
+* norm-aware samplers → Horvitz–Thompson weights ``p_i / π_i`` from their
+  own inclusion probabilities π.
+
+``weight_mode="equal"`` in :class:`~repro.fl.config.RunConfig` bypasses
+this contract entirely (the Fig. 5 "Equal" ablation).
+
+Samplers that adapt to training signals set ``wants_update_norms`` and
+receive :meth:`ClientSampler.observe_update` callbacks — the engine's
+compression seam feeds every participant's raw update norm back after
+local training, in both the sync and async schedulers.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
+
+from repro.fl.aggregation import fedavg_weights, sticky_weights
 
 __all__ = ["SampleDraw", "ClientSampler", "UniformSampler", "StickySampler"]
 
@@ -41,7 +68,26 @@ class SampleDraw:
 
 
 class ClientSampler:
-    """Base sampler interface."""
+    """Base sampler interface.
+
+    Subclasses implement :meth:`draw`; policies whose sampling distribution
+    is not uniform must also override :meth:`aggregation_weights` (see the
+    module docs for the weight contract).  Samplers that adapt to observed
+    update magnitudes set :attr:`wants_update_norms` and override
+    :meth:`observe_update`.
+    """
+
+    #: set True on samplers that consume per-client update-norm feedback;
+    #: the engine then calls :meth:`observe_update` for every participant
+    #: after local training (sync and async schedulers alike)
+    wants_update_norms: bool = False
+
+    #: set False on samplers whose policy only acts through per-round
+    #: ``draw`` calls (which the async scheduler never makes — it
+    #: dispatches via :meth:`sample_replacements` instead); the config
+    #: rejects such samplers under ``scheduler="async"`` rather than
+    #: silently ignoring their policy
+    supports_async: bool = True
 
     def __init__(self, num_to_sample: int):
         if num_to_sample <= 0:
@@ -67,15 +113,47 @@ class ClientSampler:
     ) -> None:
         """Notify the sampler which candidates actually participated."""
 
+    def aggregation_weights(
+        self, p: np.ndarray, sticky_ids: np.ndarray, nonsticky_ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Unbiased aggregation weights ``(ν_s, ν_r)`` for this sampler's draw.
+
+        ``p`` are the data weights (shard sizes normalized to 1); the ids
+        are the round's *actual* participants split into the same buckets
+        the draw produced.  The default is Eq. 2's FedAvg correction
+        ``(N / K) · p_i`` over the non-sticky bucket — correct for any
+        sampler that draws uniformly without replacement and leaves the
+        sticky bucket empty.
+        """
+        return np.empty(0), fedavg_weights(p, nonsticky_ids, self.num_clients)
+
+    def observe_update(self, client_id: int, norm: float) -> None:
+        """Feedback hook: the norm of ``client_id``'s raw local update.
+
+        Called by the engine for every aggregated participant when
+        :attr:`wants_update_norms` is set; the base sampler ignores it.
+        """
+
+    def replacement_scores(self, pool: np.ndarray) -> Optional[np.ndarray]:
+        """Optional per-client scores biasing async replacement dispatch.
+
+        ``None`` (the default) means uniform dispatch over the pool;
+        norm-aware samplers return their estimates so in-flight slots go
+        to the clients expected to contribute most.
+        """
+        return None
+
     def sample_replacements(
         self, available: np.ndarray, exclude: np.ndarray, count: int
     ) -> np.ndarray:
         """Draw up to ``count`` fresh clients for an async dispatch wave.
 
-        Uniform over the online pool minus ``exclude`` (in-flight clients);
-        the async scheduler is sampler-agnostic, so the base implementation
-        serves sticky samplers too (sticky quotas are a synchronous-round
-        concept).  Returns fewer than ``count`` ids when the pool runs dry.
+        Over the online pool minus ``exclude`` (in-flight clients),
+        without replacement — uniform unless :meth:`replacement_scores`
+        biases the draw.  The async scheduler is sampler-agnostic, so
+        this serves sticky samplers too (sticky quotas are a
+        synchronous-round concept).  Returns fewer than ``count`` ids
+        when the pool runs dry.
         """
         if count <= 0:
             return np.empty(0, dtype=np.int64)
@@ -85,9 +163,15 @@ class ClientSampler:
         if len(pool) == 0:
             return np.empty(0, dtype=np.int64)
         take = min(count, len(pool))
-        return self._rng.choice(pool, size=take, replace=False).astype(
-            np.int64
-        )
+        scores = self.replacement_scores(pool)
+        probs = None
+        if scores is not None:
+            total = scores.sum()
+            if total > 0:
+                probs = scores / total
+        return self._rng.choice(
+            pool, size=take, replace=False, p=probs
+        ).astype(np.int64)
 
     @staticmethod
     def _extras(overcommit: float, k: int) -> int:
@@ -198,6 +282,27 @@ class StickySampler(ClientSampler):
             nonsticky=nonsticky.astype(np.int64),
             quota_sticky=quota_sticky,
             quota_nonsticky=quota_non,
+        )
+
+    def aggregation_weights(
+        self, p: np.ndarray, sticky_ids: np.ndarray, nonsticky_ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Eq. 3 inverse-propensity weights for the two buckets.
+
+        Theorem 1: ``ν_s = (S / C) · p_i`` over-weighted sticky draws down
+        and ``ν_r = ((N − S) / (K − C)) · p_i`` non-sticky draws up make
+        the sticky-sampled update unbiased.  When the sticky bucket is
+        empty (e.g. the whole group dropped out) the round degenerates to
+        a uniform draw and Eq. 2 applies.
+        """
+        if not len(sticky_ids):
+            return super().aggregation_weights(p, sticky_ids, nonsticky_ids)
+        return sticky_weights(
+            p,
+            sticky_ids,
+            nonsticky_ids,
+            group_size=self.group_size,
+            num_clients=self.num_clients,
         )
 
     def complete_round(

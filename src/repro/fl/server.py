@@ -28,15 +28,10 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.fl.aggregation import (
-    equal_weights,
-    fedavg_weights,
-    sticky_weights,
-)
+from repro.fl.aggregation import equal_weights
 from repro.fl.client import LocalTrainer
 from repro.fl.config import RunConfig
 from repro.fl.metrics import RoundRecord, RunResult
-from repro.fl.samplers import StickySampler
 from repro.fl.staleness import StalenessTracker
 from repro.network.profiles import get_profile
 from repro.network.transfer import ClientLinks
@@ -150,6 +145,13 @@ class FLServer:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Aggregation weights ν for the two participant buckets.
 
+        ``weight_mode="equal"`` (the Fig. 5 ablation) short-circuits to
+        biased ``1/K`` weights; otherwise the *sampler* owns the weights —
+        each :class:`~repro.fl.samplers.ClientSampler` returns its own
+        unbiasedness correction (Eq. 2 for uniform, Eq. 3 for sticky,
+        Horvitz–Thompson for norm-aware sampling), so new sampling
+        policies plug in without the server knowing their type.
+
         Empty buckets come back as empty arrays in the run-level ``dtype``
         (non-empty weights stay float64: they are consumed one scalar at a
         time, and the paper's weight arithmetic is precision-insensitive).
@@ -163,18 +165,13 @@ class FLServer:
                 w[:n_sticky] if n_sticky else empty,
                 w[n_sticky:] if len(nonsticky_ids) else empty,
             )
-        if isinstance(self.sampler, StickySampler) and len(sticky_ids):
-            nu_s, nu_r = sticky_weights(
-                self.p,
-                sticky_ids,
-                nonsticky_ids,
-                group_size=self.sampler.group_size,
-                num_clients=self.n,
-            )
-            return nu_s, nu_r if len(nu_r) else empty
-        # uniform sampling: Eq. 2
-        nu_r = fedavg_weights(self.p, nonsticky_ids, self.n)
-        return empty, nu_r if len(nu_r) else empty
+        nu_s, nu_r = self.sampler.aggregation_weights(
+            self.p, sticky_ids, nonsticky_ids
+        )
+        return (
+            nu_s if len(nu_s) else empty,
+            nu_r if len(nu_r) else empty,
+        )
 
     # -- evaluation ---------------------------------------------------------------
     def evaluate(self) -> float:

@@ -268,3 +268,322 @@ def test_config_validates_scheduler_knobs(tiny_dataset):
     cfg = make_config(tiny_dataset, failure_straggler_slowdown=0.5)
     with pytest.raises(ValueError, match="failure_straggler_slowdown"):
         cfg.validate()
+
+
+# -- strategy round-state pairing --------------------------------------------------
+
+
+class PairingSpyStrategy(FedAvgStrategy):
+    """Counts round-lifecycle calls to assert begin/end/abort pairing."""
+
+    def __init__(self):
+        super().__init__()
+        self.begins = 0
+        self.ends = 0
+        self.aborts = 0
+
+    def begin_round(self, round_idx):
+        self.begins += 1
+        super().begin_round(round_idx)
+
+    def end_round(self, agg, round_idx):
+        self.ends += 1
+        super().end_round(agg, round_idx)
+
+    def abort_round(self, round_idx):
+        self.aborts += 1
+        super().abort_round(round_idx)
+
+
+class NobodyOnlineTrace(AvailabilityTrace):
+    """An availability trace where every client is offline forever."""
+
+    def __init__(self, n):
+        super().__init__(
+            n, np.random.default_rng(0), mean_on_fraction=1.0, dropout_prob=0.0
+        )
+
+    def online(self, round_idx):
+        return np.zeros(self.num_clients, dtype=bool)
+
+
+def test_async_empty_flush_keeps_round_state_balanced(tiny_dataset):
+    """Regression: an empty async flush must close the strategy round it
+    opened (previously begin_round leaked on the skip_empty path)."""
+    strategy = PairingSpyStrategy()
+    cfg = make_config(
+        tiny_dataset,
+        strategy=strategy,
+        scheduler="async",
+        availability_trace=NobodyOnlineTrace(tiny_dataset.num_clients),
+        skip_empty_rounds=True,
+        rounds=4,
+    )
+    result = run_training(cfg)
+    assert result.num_rounds == 4
+    assert (result.series("num_participants") == 0).all()
+    assert strategy.begins == 4
+    assert strategy.aborts == 4
+    assert strategy.ends == 0
+    assert strategy.begins == strategy.ends + strategy.aborts
+
+
+def test_async_no_clients_raise_still_pairs_round_state(tiny_dataset):
+    """The fatal no-clients path also closes the opened round before
+    raising, so a caller that catches the error holds balanced state."""
+    strategy = PairingSpyStrategy()
+    cfg = make_config(
+        tiny_dataset,
+        strategy=strategy,
+        scheduler="async",
+        availability_trace=NobodyOnlineTrace(tiny_dataset.num_clients),
+        rounds=4,
+    )
+    with pytest.raises(RuntimeError, match="no clients available"):
+        run_training(cfg)
+    assert strategy.begins == strategy.ends + strategy.aborts
+
+
+def test_sync_empty_round_pairs_round_state(tiny_dataset):
+    """The sync pipeline's skip_empty path pairs begin_round too."""
+    strategy = PairingSpyStrategy()
+    cfg = make_config(
+        tiny_dataset,
+        strategy=strategy,
+        availability_trace=TotalDropoutTrace(tiny_dataset.num_clients),
+        skip_empty_rounds=True,
+        rounds=3,
+    )
+    run_training(cfg)
+    assert strategy.begins == 3
+    assert strategy.begins == strategy.ends + strategy.aborts
+
+
+def test_gluefl_mask_regen_survives_aborted_round():
+    """A regen round that aggregates nothing re-arms regeneration instead
+    of silently skipping a whole regen_interval (sticky-mask drift fix)."""
+    from repro.compression.gluefl_mask import GlueFLMaskStrategy
+
+    strategy = GlueFLMaskStrategy(q=0.2, q_shr=0.1, regen_interval=10)
+    strategy.setup(100, np.random.default_rng(0))
+    agg_delta = np.random.default_rng(1).normal(size=100)
+
+    def run_full_round(t):
+        strategy.begin_round(t)
+        from repro.compression.base import AggregateResult
+
+        strategy.end_round(
+            AggregateResult(
+                global_delta=agg_delta, changed_idx=np.arange(100)
+            ),
+            t,
+        )
+
+    run_full_round(1)  # first round regenerates by definition
+    for t in range(2, 10):
+        run_full_round(t)
+        assert not strategy.is_regen_round
+    # round 10 is a scheduled regen round, but nobody shows up
+    strategy.begin_round(10)
+    assert strategy.is_regen_round
+    strategy.abort_round(10)
+    # the *next* aggregating round must run as the missed regen round
+    strategy.begin_round(11)
+    assert strategy.is_regen_round
+    run_full_round(11)
+    strategy.begin_round(12)
+    assert not strategy.is_regen_round
+
+
+# -- async arrival batching --------------------------------------------------------
+
+
+class RecordingBackend:
+    """Wraps an ExecutionBackend, records each call's batch size."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.batch_sizes = []
+
+    def run_clients(self, tasks, global_params, global_buffers):
+        self.batch_sizes.append(len(tasks))
+        return self.inner.run_clients(tasks, global_params, global_buffers)
+
+    def close(self):
+        self.inner.close()
+
+
+def test_async_batches_simultaneous_arrivals(tiny_dataset):
+    """Arrivals tied at the same finish time (same dispatch snapshot) go to
+    the backend as ONE run_clients call, so thread/process backends can
+    actually parallelize under scheduler="async"."""
+    cfg = make_config(
+        tiny_dataset,
+        scheduler="async",
+        async_buffer_size=4,
+        async_concurrency=6,
+        always_available=True,
+        dropout_prob=0.0,
+        execution_backend="thread",
+        backend_workers=4,
+    )
+    server = FLServer(cfg)
+    # constant link/compute times => every in-flight client finishes at
+    # exactly the same instant, from the same global snapshot
+    server.links.download_seconds_many = lambda ids, b: np.full(len(ids), 0.5)
+    server.links.upload_seconds_many = lambda ids, b: np.full(len(ids), 0.25)
+    server.compute.round_seconds_many = lambda ids, steps, scale: np.full(
+        len(ids), 1.0
+    )
+    recorder = RecordingBackend(server.backend)
+    server._backend = recorder
+    try:
+        record = server.run_round()
+    finally:
+        server.close()
+    assert record.num_participants == 4
+    # the whole buffer arrived simultaneously: one batched call, not 4×[1]
+    assert max(recorder.batch_sizes) == 4
+
+
+def test_async_batching_preserves_serial_results(tiny_dataset):
+    """Tie-batched execution aggregates the same clients as the pre-batch
+    one-at-a-time drain (order within a tie follows heap pop order)."""
+    def run(backend):
+        cfg = make_config(
+            tiny_dataset,
+            scheduler="async",
+            async_buffer_size=3,
+            rounds=5,
+            always_available=True,
+            execution_backend=backend,
+        )
+        return run_training(cfg)
+
+    serial = run("serial")
+    threaded = run("thread")
+    np.testing.assert_array_equal(
+        serial.series("train_loss"), threaded.series("train_loss")
+    )
+    np.testing.assert_array_equal(
+        serial.series("up_bytes"), threaded.series("up_bytes")
+    )
+
+
+# -- config validation (canonical tuples + trace ranges) ---------------------------
+
+
+def test_config_validates_availability_ranges(tiny_dataset):
+    cfg = make_config(tiny_dataset, mean_on_fraction=0.0)
+    with pytest.raises(ValueError, match="mean_on_fraction"):
+        cfg.validate()
+    cfg = make_config(tiny_dataset, mean_on_fraction=1.5)
+    with pytest.raises(ValueError, match="mean_on_fraction"):
+        cfg.validate()
+    cfg = make_config(tiny_dataset, dropout_prob=1.0)
+    with pytest.raises(ValueError, match="dropout_prob"):
+        cfg.validate()
+    cfg = make_config(tiny_dataset, dropout_prob=-0.1)
+    with pytest.raises(ValueError, match="dropout_prob"):
+        cfg.validate()
+
+
+def test_config_error_messages_track_canonical_tuples(tiny_dataset):
+    """validate() quotes the canonical name lists, so a newly registered
+    scheduler/backend can never drift out of the config check."""
+    from repro.engine.schedulers import SCHEDULERS
+    from repro.runtime.backends import BACKENDS
+
+    cfg = make_config(tiny_dataset, scheduler="warp")
+    with pytest.raises(ValueError, match=str(SCHEDULERS[-1])):
+        cfg.validate()
+    cfg = make_config(tiny_dataset, execution_backend="quantum")
+    with pytest.raises(ValueError, match=str(BACKENDS[-1])):
+        cfg.validate()
+
+
+def test_quantized_wrapper_forwards_abort_round():
+    """The quantization wrapper must not swallow the empty-round signal."""
+    from repro.compression import QuantizedStrategy
+    from repro.compression.gluefl_mask import GlueFLMaskStrategy
+
+    inner = GlueFLMaskStrategy(q=0.2, q_shr=0.1, regen_interval=10)
+    strategy = QuantizedStrategy(inner, bits=8)
+    strategy.setup(100, np.random.default_rng(0))
+    inner.mask_idx = np.arange(10)  # pretend a mask exists
+    strategy.begin_round(10)  # scheduled regen round
+    assert inner.is_regen_round
+    strategy.abort_round(10)
+    strategy.begin_round(11)
+    assert inner.is_regen_round  # pending regen survived the wrapper
+
+
+def test_sync_raise_paths_pair_round_state(tiny_dataset):
+    """Both fatal sync paths (empty draw, no survivors) abort the opened
+    round before raising, mirroring the async raise path."""
+    # no survivors: CompressionPhase raises after begin_round
+    strategy = PairingSpyStrategy()
+    cfg = make_config(
+        tiny_dataset,
+        strategy=strategy,
+        availability_trace=TotalDropoutTrace(tiny_dataset.num_clients),
+    )
+    with pytest.raises(RuntimeError, match="no participants survived"):
+        run_training(cfg)
+    assert strategy.begins == strategy.ends + strategy.aborts
+
+    # empty draw: the sampler raises inside SamplingPhase
+    strategy = PairingSpyStrategy()
+    cfg = make_config(
+        tiny_dataset,
+        strategy=strategy,
+        availability_trace=NobodyOnlineTrace(tiny_dataset.num_clients),
+    )
+    with pytest.raises(RuntimeError, match="no clients available"):
+        run_training(cfg)
+    assert strategy.begins == strategy.ends + strategy.aborts
+
+
+def test_config_rejects_draw_only_samplers_under_async(tiny_dataset):
+    """DynamicScheduleSampler anneals through draw(), which async never
+    calls — the config refuses the silently-inert combination."""
+    from repro.fl.extra_samplers import DynamicScheduleSampler
+
+    sampler = DynamicScheduleSampler(UniformSampler(5), k_min=2)
+    cfg = make_config(tiny_dataset, sampler=sampler, scheduler="async")
+    with pytest.raises(ValueError, match="async scheduler never"):
+        cfg.validate()
+    # sync stays allowed
+    make_config(tiny_dataset, sampler=sampler).validate()
+
+
+class ExplodingBackend:
+    """A backend whose dispatch always fails (simulated worker crash)."""
+
+    def run_clients(self, tasks, global_params, global_buffers):
+        raise OSError("worker pool died")
+
+    def close(self):
+        pass
+
+
+@pytest.mark.parametrize("scheduler", ["sync", "async"])
+def test_backend_crash_still_pairs_round_state(tiny_dataset, scheduler):
+    """The lifecycle contract is enforced centrally: *any* failure between
+    begin_round and end_round aborts the opened round — not just the
+    hand-picked empty-round raise sites."""
+    strategy = PairingSpyStrategy()
+    cfg = make_config(
+        tiny_dataset,
+        strategy=strategy,
+        scheduler=scheduler,
+        always_available=True,
+        dropout_prob=0.0,
+    )
+    server = FLServer(cfg)
+    server._backend = ExplodingBackend()
+    with pytest.raises(OSError, match="worker pool died"):
+        server.run_round()
+    assert strategy.begins == 1
+    assert strategy.ends == 0
+    assert strategy.aborts == 1

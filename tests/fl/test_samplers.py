@@ -172,3 +172,54 @@ def test_sticky_resample_rate_empirical(rng):
     # long-run: every client participates K/N of the time on average
     mean_rate = counts.mean() / rounds
     assert mean_rate == pytest.approx(10 / 200, rel=0.15)
+
+# ------------------------------------------------- sampler-owned weights
+def test_uniform_aggregation_weights_match_eq2(rng):
+    """The base contract returns FedAvg's (N/K)·p_i over the non-sticky ids."""
+    from repro.fl.aggregation import fedavg_weights
+
+    sampler = UniformSampler(5)
+    sampler.setup(30, rng)
+    p = rng.dirichlet(np.ones(30))
+    ids = np.array([3, 7, 11, 20, 29])
+    nu_s, nu_r = sampler.aggregation_weights(p, np.empty(0, dtype=np.int64), ids)
+    assert len(nu_s) == 0
+    np.testing.assert_allclose(nu_r, fedavg_weights(p, ids, 30))
+    np.testing.assert_allclose(nu_r, (30 / 5) * p[ids])
+
+
+def test_sticky_aggregation_weights_match_eq3(rng):
+    """StickySampler owns the Eq. 3 inverse-propensity correction."""
+    from repro.fl.aggregation import sticky_weights
+
+    sampler = make_sticky(rng, n=100, k=10, s=40, c=8)
+    p = rng.dirichlet(np.ones(100))
+    sticky_ids = sampler.sticky_group[:6]
+    nonsticky_ids = np.setdiff1d(np.arange(100), sampler.sticky_group)[:4]
+    nu_s, nu_r = sampler.aggregation_weights(p, sticky_ids, nonsticky_ids)
+    want_s, want_r = sticky_weights(
+        p, sticky_ids, nonsticky_ids, group_size=40, num_clients=100
+    )
+    np.testing.assert_allclose(nu_s, want_s)
+    np.testing.assert_allclose(nu_r, want_r)
+    np.testing.assert_allclose(nu_s, (40 / 6) * p[sticky_ids])
+
+
+def test_sticky_weights_fall_back_to_eq2_when_bucket_empty(rng):
+    """A wiped-out sticky bucket degenerates the round to a uniform draw."""
+    sampler = make_sticky(rng, n=100, k=10, s=40, c=8)
+    p = np.full(100, 1 / 100)
+    ids = np.arange(10)
+    nu_s, nu_r = sampler.aggregation_weights(
+        p, np.empty(0, dtype=np.int64), ids
+    )
+    assert len(nu_s) == 0
+    np.testing.assert_allclose(nu_r, (100 / 10) * p[ids])
+
+
+def test_base_sampler_norm_feedback_is_opt_in(rng):
+    """Default samplers neither request nor react to update-norm feedback."""
+    sampler = UniformSampler(5)
+    sampler.setup(20, rng)
+    assert sampler.wants_update_norms is False
+    sampler.observe_update(3, 1.25)  # no-op, must not raise

@@ -160,3 +160,59 @@ def test_equal_weights_are_biased_with_nonuniform_p(unbias_dataset):
     err_unweighted = np.linalg.norm(mean - ref_unweighted)
     # the equal-weight estimator tracks the unweighted mean, not the objective
     assert err_unweighted < err_weighted
+
+def test_ocs_sampling_is_unbiased(unbias_dataset):
+    """Horvitz–Thompson weights make norm-aware sampling unbiased end to end.
+
+    Each trial runs one full server round with an OptimalClientSampler
+    whose estimator is pre-fed the *true* norms of the stubbed per-client
+    deltas, so inclusion probabilities are genuinely non-uniform (the
+    interesting case) while the HT correction must still recover the
+    full-participation update in expectation.
+    """
+    from repro.compression import FedAvgStrategy
+    from repro.fl.extra_samplers import OptimalClientSampler
+
+    dataset = unbias_dataset
+    n = dataset.num_clients
+
+    def one_round(seed):
+        cfg = RunConfig(
+            dataset=dataset,
+            model_name="mlp",
+            model_kwargs={"hidden": (4,)},
+            strategy=FedAvgStrategy(),
+            sampler=OptimalClientSampler(6),
+            rounds=1,
+            local_steps=1,
+            always_available=True,
+            overcommit=1.0,
+            eval_every=10**9,
+            seed=seed,
+        )
+        server = FLServer(cfg)
+        d = server.d
+        for cid in range(n):
+            server.sampler.observe_update(
+                cid, float(np.linalg.norm(fixed_delta(cid, d)))
+            )
+
+        def stub_run(global_params, global_buffers, shard, lr, rng):
+            return LocalResult(
+                delta=fixed_delta(shard.client_id, d),
+                buffer_delta=np.zeros(0),
+                num_samples=len(shard),
+                mean_loss=1.0,
+            )
+
+        server.trainer.run = stub_run
+        before = server.global_params.copy()
+        server.run_round()
+        return server.global_params - before
+
+    trials = 300
+    deltas = [one_round(seed) for seed in range(trials)]
+    mean = np.mean(deltas, axis=0)
+    stderr = np.std(deltas, axis=0) / np.sqrt(trials)
+    ref = reference_update(dataset, len(mean))
+    assert np.all(np.abs(mean - ref) < 4.5 * stderr + 1e-9)

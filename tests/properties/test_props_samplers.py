@@ -1,6 +1,7 @@
 """Hypothesis properties of the samplers under random configurations."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -64,3 +65,71 @@ def test_uniform_draw_invariants(k, seed, overcommit):
     assert len(np.unique(draw.nonsticky)) == len(draw.nonsticky)
     assert draw.quota_nonsticky <= min(k, len(draw.nonsticky))
     assert available[draw.nonsticky].all()
+
+
+@st.composite
+def ocs_pools(draw):
+    n = draw(st.integers(8, 60))
+    k = draw(st.integers(1, min(10, n - 1)))
+    norms = draw(
+        st.lists(
+            st.floats(0.01, 100.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return n, k, np.array(norms)
+
+
+@given(ocs_pools(), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_ocs_draw_invariants(pool, seed):
+    """OCS draws are distinct, sized to the budget, and carry valid π."""
+    from repro.fl.extra_samplers import OptimalClientSampler
+
+    n, k, norms = pool
+    sampler = OptimalClientSampler(k)
+    sampler.setup(n, np.random.default_rng(seed))
+    for cid in range(n):
+        sampler.observe_update(cid, float(norms[cid]))
+    available = np.ones(n, dtype=bool)
+    draw = sampler.draw(1, available)
+    ids = draw.nonsticky
+    assert len(np.unique(ids)) == len(ids)
+    assert len(ids) == k
+    pi = sampler._last_inclusion[ids]
+    assert np.all(pi > 0) and np.all(pi <= 1.0 + 1e-12)
+    # the water-filled probabilities spend exactly the budget
+    all_pi = sampler._last_inclusion[np.arange(n)]
+    assert np.nansum(all_pi) == pytest.approx(k)
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_ocs_weight_sum_is_unbiased_estimator(seed):
+    """Monte Carlo over draws: E[Σ_{i∈S} ν_i] = Σ_i p_i = 1.
+
+    The sum of Horvitz–Thompson weights over a draw is itself an unbiased
+    estimator of the total data weight, whatever the norm profile — the
+    scalar version of Theorem-1-style unbiasedness for OCS.
+    """
+    from repro.fl.extra_samplers import OptimalClientSampler
+
+    n, k, trials = 30, 6, 400
+    rng = np.random.default_rng(seed)
+    p = rng.dirichlet(np.ones(n))
+    sampler = OptimalClientSampler(k)
+    sampler.setup(n, np.random.default_rng(seed + 1))
+    # heavy-tailed norm profile: a few dominant clients, π capped at 1
+    for cid in range(n):
+        sampler.observe_update(cid, 50.0 if cid < 2 else rng.uniform(0.5, 2.0))
+    available = np.ones(n, dtype=bool)
+    sums = np.empty(trials)
+    for t in range(trials):
+        draw = sampler.draw(t, available)
+        _, nu = sampler.aggregation_weights(
+            p, np.empty(0, dtype=np.int64), draw.nonsticky
+        )
+        sums[t] = nu.sum()
+    stderr = sums.std() / np.sqrt(trials)
+    assert abs(sums.mean() - 1.0) < 4 * stderr + 1e-9
