@@ -15,12 +15,18 @@ Subpackages:
 
 - :mod:`repro.core` — the GlueFL strategy (sticky sampling + mask shifting).
 - :mod:`repro.fl` — the federated-learning simulation engine.
+- :mod:`repro.engine` — the phase-based round engine + schedulers.
+- :mod:`repro.runtime` — execution backends and the dtype policy.
 - :mod:`repro.compression` — STC, APF, GlueFL masking, error compensation.
+- :mod:`repro.privacy` — clipping, Gaussian mechanism, RDP accounting.
 - :mod:`repro.nn` — the numpy neural-network substrate.
 - :mod:`repro.datasets` — synthetic non-IID federated datasets.
 - :mod:`repro.network` / :mod:`repro.traces` — bandwidth, compute, availability.
 - :mod:`repro.theory` — Appendix A sampling analysis, Theorem 2 helpers.
 - :mod:`repro.experiments` — the table/figure reproduction harness.
+
+See ``README.md`` for the capability matrix and ``docs/architecture.md``
+for the subsystem map.
 """
 
 from repro.core import make_gluefl, make_sticky_fedavg

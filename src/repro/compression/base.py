@@ -19,11 +19,25 @@ sync (e.g. GlueFL's shared-mask bitmap) is reported via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["ClientPayload", "AggregateResult", "CompressionStrategy"]
+__all__ = [
+    "VALUE_KEYS",
+    "ClientPayload",
+    "AggregateResult",
+    "CompressionStrategy",
+]
+
+#: Payload ``data`` keys that hold transmitted *values* (as opposed to
+#: addressing like ``"idx"``) — the repo-wide convention every strategy in
+#: :mod:`repro.compression` follows, and what value-transforming wrappers
+#: (:class:`~repro.compression.quantized.QuantizedStrategy`,
+#: :class:`~repro.privacy.strategy.PrivateStrategy`) iterate over.  A new
+#: strategy that transmits values under another key must extend this tuple,
+#: or the wrappers will silently pass those values through untouched.
+VALUE_KEYS = ("dense", "vals", "shr_vals")
 
 
 @dataclass
@@ -129,6 +143,32 @@ class CompressionStrategy:
         stateful (e.g. GlueFL's shared-mask regeneration cadence) use this
         to keep the schedule from drifting; the default is a no-op.
         """
+
+    # -- engine feedback ---------------------------------------------------------
+    def feedback_norm(self, client_id: int, delta: np.ndarray) -> float:
+        """The update norm the engine may report to norm-aware samplers.
+
+        Called on the compression seam (after :meth:`client_compress`) for
+        every aggregated participant whose sampler opted into norm
+        feedback.  The default is the raw local-update magnitude ``‖Δ‖₂``;
+        privacy wrappers override it so samplers only ever observe the
+        *privatized* norm (see
+        :class:`~repro.privacy.strategy.PrivateStrategy`).
+
+        >>> import numpy as np
+        >>> CompressionStrategy().feedback_norm(0, np.array([3.0, 4.0]))
+        5.0
+        """
+        return float(np.linalg.norm(delta))
+
+    def privacy_epsilon_spent(self) -> Optional[float]:
+        """Cumulative privacy budget ε consumed so far, if tracked.
+
+        ``None`` (the default) means "no privacy accounting on this
+        strategy" — recorded per round as
+        :attr:`~repro.fl.metrics.RoundRecord.privacy_epsilon_spent`.
+        """
+        return None
 
     # -- helpers ---------------------------------------------------------------
     def _check_setup(self) -> None:

@@ -20,6 +20,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from repro.compression.base import (
+    VALUE_KEYS,
     AggregateResult,
     ClientPayload,
     CompressionStrategy,
@@ -28,8 +29,6 @@ from repro.compression.quantize import quantized_values_bytes, stochastic_quanti
 from repro.network.encoding import BYTES_PER_VALUE
 
 __all__ = ["QuantizedStrategy"]
-
-_VALUE_KEYS = ("dense", "vals", "shr_vals")
 
 
 class QuantizedStrategy(CompressionStrategy):
@@ -74,13 +73,20 @@ class QuantizedStrategy(CompressionStrategy):
     ) -> AggregateResult:
         return self.inner.aggregate(payloads)
 
+    def feedback_norm(self, client_id: int, delta) -> float:
+        # a wrapped privacy layer's noisy norm must survive the stack
+        return self.inner.feedback_norm(client_id, delta)
+
+    def privacy_epsilon_spent(self):
+        return self.inner.privacy_epsilon_spent()
+
     # -- the actual quantization step ------------------------------------------
     def client_compress(
         self, client_id: int, delta: np.ndarray, weight: float
     ) -> ClientPayload:
         payload = self.inner.client_compress(client_id, delta, weight)
         saved = 0
-        for key in _VALUE_KEYS:
+        for key in VALUE_KEYS:
             values = payload.data.get(key)
             if values is None or len(values) == 0:
                 continue

@@ -73,19 +73,24 @@ def nominal_upstream_bytes(server) -> int:
 
 
 def feed_update_norms(server, results) -> None:
-    """Norm-feedback hook: report each participant's raw update magnitude.
+    """Norm-feedback hook: report each participant's update magnitude.
 
     Samplers that opt in via ``wants_update_norms`` (e.g. Optimal Client
-    Sampling) receive ``observe_update(client_id, ‖Δ‖₂)`` for every result
-    that reaches aggregation.  Sitting on the shared compression seam, the
-    feedback flows identically under the sync, async, and failure
-    schedulers; samplers that don't opt in cost nothing.
+    Sampling) receive ``observe_update(client_id, norm)`` for every result
+    that reaches aggregation.  The norm comes from the *strategy's*
+    :meth:`~repro.compression.base.CompressionStrategy.feedback_norm` —
+    the raw ``‖Δ‖₂`` by default, but a privacy wrapper substitutes the
+    privatized (noisy) norm, so runs fire this hook *after* compression.
+    Sitting on the shared compression seam, the feedback flows identically
+    under the sync, async, and failure schedulers; samplers that don't opt
+    in cost nothing.
     """
     if not server.sampler.wants_update_norms:
         return
     for result in results:
         server.sampler.observe_update(
-            result.client_id, float(np.linalg.norm(result.delta))
+            result.client_id,
+            server.strategy.feedback_norm(result.client_id, result.delta),
         )
 
 
@@ -95,9 +100,10 @@ def compress_results(server, results, weights):
 
     Also fires the sampler's update-norm feedback (see
     :func:`feed_update_norms`) — compression is the one seam every
-    scheduler's results pass through.
+    scheduler's results pass through, and it runs first so privacy
+    wrappers have recorded their noisy norms before any sampler observes
+    them.
     """
-    feed_update_norms(server, results)
     payloads: List[Tuple[int, float, object]] = []
     buffer_deltas: List[np.ndarray] = []
     losses: List[float] = []
@@ -112,6 +118,7 @@ def compress_results(server, results, weights):
         losses.append(result.mean_loss)
     if server.config.count_buffer_sync and server.view.num_buffer:
         up_bytes_total += dense_bytes(server.view.num_buffer) * len(payloads)
+    feed_update_norms(server, results)
     return payloads, buffer_deltas, losses, up_bytes_total
 
 
@@ -356,6 +363,7 @@ class MeasurementPhase(Phase):
             accuracy=ctx.accuracy,
             sync_details=ctx.sync_details,
             injected_failure=ctx.injected_failure,
+            privacy_epsilon_spent=server.strategy.privacy_epsilon_spent(),
         )
 
 

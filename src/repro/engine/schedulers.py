@@ -331,6 +331,7 @@ class AsyncBufferedScheduler(Scheduler):
             mean_update_staleness=(
                 float(np.mean(taus)) if taus is not None and len(taus) else None
             ),
+            privacy_epsilon_spent=server.strategy.privacy_epsilon_spent(),
         )
         self._pending_down = 0
         self._pending_candidates = 0

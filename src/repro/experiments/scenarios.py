@@ -183,6 +183,23 @@ SCENARIOS.add(
     ),
 )
 
+# --- privacy scale (benchmarks/bench_privacy_tradeoff.py) ----------------------------
+SCENARIOS.add(
+    "femnist-private",
+    Scenario(
+        name="femnist-private",
+        dataset_fn=_femnist(100, 32, classes=8, noise=1.6),
+        model_name="mlp",
+        model_kwargs={"hidden": (32,)},
+        k=8,
+        rounds=40,
+        q=0.20,
+        q_shr=0.16,
+        lr=0.05,
+        eval_every=4,
+    ),
+)
+
 # --- large scale (true conv models; closer to paper geometry) ------------------------
 SCENARIOS.add(
     "femnist-shufflenet-large",

@@ -57,6 +57,34 @@ class RunConfig:
       plug in without server changes.
     * ``weight_mode="equal"`` — bypass the sampler's correction with the
       biased ``1/K`` weights of the Fig. 5 "Equal" ablation.
+
+    Privacy (see :mod:`repro.privacy`):
+
+    * ``privacy_mode`` — ``"off"`` (default; the configured strategy runs
+      untouched), ``"gaussian"`` (clip each client's update to
+      ``privacy_clip_norm`` — required in this mode — add calibrated
+      Gaussian noise to the *transmitted* coordinates only, and track the
+      spend with an RDP accountant), or ``"random_defense"`` (Kim &
+      Park's random gradient masking: zero a random
+      ``privacy_defense_fraction`` of each update before compression —
+      no ε, no noise, and no clipping unless ``privacy_clip_norm`` is
+      set).
+    * ``privacy_epsilon`` / ``privacy_delta`` — the total (ε, δ) budget
+      for the whole run; the server calibrates the noise multiplier so
+      ``rounds`` rounds spend at most ε.  An explicit
+      ``privacy_noise_multiplier`` overrides the calibration.
+    * Accounting is honest about composition: with noise on, the wrapped
+      strategy's client-side error compensation is disabled (residuals
+      would breach the clip bound), and subsampling amplification is only
+      claimed when the sampler's ``dp_sample_rate`` bounds per-round
+      inclusion (uniform sampling; sticky/norm-aware policies and the
+      async scheduler account at rate 1.0).
+    * Per-round spend lands in
+      :attr:`~repro.fl.metrics.RoundRecord.privacy_epsilon_spent`, and
+      norm-aware samplers only ever observe privatized update norms.
+
+    >>> RunConfig.__dataclass_fields__["privacy_mode"].default
+    'off'
     """
 
     # workload
@@ -125,6 +153,25 @@ class RunConfig:
     #: failure: compute-time multiplier for storm-hit candidates
     failure_straggler_slowdown: float = 4.0
 
+    # privacy (repro.privacy)
+    #: "off" | "gaussian" | "random_defense"
+    privacy_mode: str = "off"
+    #: total (ε, δ)-DP budget for the run; the noise multiplier is
+    #: calibrated so `rounds` rounds spend at most this (gaussian mode)
+    privacy_epsilon: Optional[float] = None
+    #: the δ of the (ε, δ) guarantee
+    privacy_delta: float = 1e-5
+    #: per-client L2 clip bound S (the mechanism's sensitivity); required
+    #: for gaussian noise — there is no sensible universal default, S is a
+    #: workload property.  None (the default) disables clipping, which is
+    #: only legal without noise (random_defense, or an explicit z = 0)
+    privacy_clip_norm: Optional[float] = None
+    #: explicit noise multiplier z (std = z·S per transmitted coordinate);
+    #: overrides the ε-based calibration when set
+    privacy_noise_multiplier: Optional[float] = None
+    #: random_defense: fraction of coordinates zeroed per client per round
+    privacy_defense_fraction: float = 0.5
+
     # evaluation
     eval_every: int = 5
     eval_batch: int = 256
@@ -147,6 +194,7 @@ class RunConfig:
         # lazily because repro.engine/runtime modules import repro.fl
         # submodules (a module-level import here would cycle)
         from repro.engine.schedulers import SCHEDULERS
+        from repro.privacy import PRIVACY_MODES
         from repro.runtime.backends import BACKENDS
         from repro.runtime.dtype import DTYPE_NAMES
 
@@ -199,6 +247,52 @@ class RunConfig:
             raise ValueError("failure_straggler_fraction must be in [0, 1]")
         if self.failure_straggler_slowdown < 1.0:
             raise ValueError("failure_straggler_slowdown must be >= 1")
+        if self.privacy_mode not in PRIVACY_MODES:
+            raise ValueError(
+                f"unknown privacy_mode {self.privacy_mode!r}; "
+                f"expected {PRIVACY_MODES}"
+            )
+        if self.privacy_epsilon is not None and self.privacy_epsilon <= 0:
+            raise ValueError("privacy_epsilon must be positive")
+        if not 0.0 < self.privacy_delta < 1.0:
+            raise ValueError("privacy_delta must be in (0, 1)")
+        if self.privacy_clip_norm is not None and self.privacy_clip_norm <= 0:
+            raise ValueError("privacy_clip_norm must be positive (or None)")
+        if (
+            self.privacy_noise_multiplier is not None
+            and self.privacy_noise_multiplier < 0
+        ):
+            raise ValueError("privacy_noise_multiplier must be non-negative")
+        if not 0.0 <= self.privacy_defense_fraction < 1.0:
+            raise ValueError("privacy_defense_fraction must be in [0, 1)")
+        if self.privacy_mode == "random_defense" and (
+            self.privacy_epsilon is not None
+            or self.privacy_noise_multiplier is not None
+        ):
+            raise ValueError(
+                "privacy_mode='random_defense' adds no noise and tracks no "
+                "epsilon; unset privacy_epsilon/privacy_noise_multiplier "
+                "(use privacy_mode='gaussian' for the DP mechanism)"
+            )
+        if self.privacy_mode == "gaussian":
+            if (
+                self.privacy_epsilon is None
+                and self.privacy_noise_multiplier is None
+            ):
+                raise ValueError(
+                    "privacy_mode='gaussian' needs privacy_epsilon (to "
+                    "calibrate noise) or an explicit "
+                    "privacy_noise_multiplier"
+                )
+            noisy = (
+                self.privacy_noise_multiplier is None  # ε-calibrated > 0
+                or self.privacy_noise_multiplier > 0
+            )
+            if noisy and self.privacy_clip_norm is None:
+                raise ValueError(
+                    "gaussian noise requires privacy_clip_norm: the clip "
+                    "bound is the mechanism's sensitivity"
+                )
         if self.sampler.k > self.dataset.num_clients:
             raise ValueError(
                 f"K={self.sampler.k} exceeds federation size "

@@ -462,6 +462,11 @@ class DynamicScheduleSampler(ClientSampler):
     def observe_update(self, client_id: int, norm: float) -> None:
         self.inner.observe_update(client_id, norm)
 
+    def dp_sample_rate(self, num_clients: int, overcommit: float) -> float:
+        # annealing only ever shrinks the inner budget, so the inner
+        # sampler's rate (computed at K_0) stays a valid upper bound
+        return self.inner.dp_sample_rate(num_clients, overcommit)
+
     def sample_replacements(
         self, available: np.ndarray, exclude: np.ndarray, count: int
     ) -> np.ndarray:

@@ -51,6 +51,10 @@ class RoundRecord:
     #: True when the failure-injection scheduler hit this round with a
     #: dropout burst / straggler storm
     injected_failure: bool = False
+    #: cumulative (ε, δ)-DP budget consumed through this round, reported
+    #: by the strategy's privacy accountant (None when no accounting is
+    #: active — privacy off, zero noise, or the random-mask defense)
+    privacy_epsilon_spent: Optional[float] = None
 
 
 @dataclass

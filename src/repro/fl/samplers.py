@@ -124,6 +124,15 @@ class ClientSampler:
         ``(N / K) · p_i`` over the non-sticky bucket — correct for any
         sampler that draws uniformly without replacement and leaves the
         sticky bucket empty.
+
+        >>> import numpy as np
+        >>> sampler = UniformSampler(2)
+        >>> sampler.setup(4, np.random.default_rng(0))
+        >>> p = np.full(4, 0.25)
+        >>> none, nu = sampler.aggregation_weights(
+        ...     p, np.empty(0, np.int64), np.array([1, 3]))
+        >>> nu.tolist()                     # (N / K) · p_i = (4 / 2) · 0.25
+        [0.5, 0.5]
         """
         return np.empty(0), fedavg_weights(p, nonsticky_ids, self.num_clients)
 
@@ -133,6 +142,21 @@ class ClientSampler:
         Called by the engine for every aggregated participant when
         :attr:`wants_update_norms` is set; the base sampler ignores it.
         """
+
+    def dp_sample_rate(self, num_clients: int, overcommit: float) -> float:
+        """Per-round inclusion probability the privacy accountant may use.
+
+        Subsampling amplification (the sampled-Gaussian RDP bound) is only
+        valid when every client's round-inclusion is bounded by a known
+        rate, independent across rounds.  The base answer is the
+        conservative **1.0** — no amplification claimed — because a
+        generic policy (sticky groups with persistent membership,
+        norm-proportional draws, utility chasing) gives some clients a
+        much higher, history-correlated inclusion probability.  Samplers
+        whose draw genuinely bounds the marginal inclusion override this
+        (see :class:`UniformSampler`).
+        """
+        return 1.0
 
     def replacement_scores(self, pool: np.ndarray) -> Optional[np.ndarray]:
         """Optional per-client scores biasing async replacement dispatch.
@@ -183,6 +207,14 @@ class ClientSampler:
 
 class UniformSampler(ClientSampler):
     """FedAvg's uniform sampling without replacement."""
+
+    def dp_sample_rate(self, num_clients: int, overcommit: float) -> float:
+        """Uniform draws bound every client's inclusion by the candidate
+        rate ``OC·K / N`` (participants are the fastest K *of* those
+        candidates, so the marginal inclusion probability can only be
+        smaller; RDP is monotone in the rate, making this an upper
+        bound)."""
+        return min(1.0, overcommit * self.k / num_clients)
 
     def draw(
         self, round_idx: int, available: np.ndarray, overcommit: float = 1.0

@@ -79,6 +79,8 @@ class FLServer:
         self.global_buffers.flags.writeable = False
 
         self.strategy = config.strategy
+        if config.privacy_mode != "off":
+            self.strategy = self._privatize_strategy(config)
         self.strategy.setup(self.d, self.rngs("strategy"), dtype=self.dtype)
         self.sampler = config.sampler
         self.sampler.setup(self.n, self.rngs("sampler"))
@@ -138,6 +140,56 @@ class FLServer:
 
         self.scheduler = create_scheduler(config.scheduler)
         self.scheduler.setup(self)
+
+    # -- privacy wiring --------------------------------------------------------
+    def _privatize_strategy(self, config: RunConfig):
+        """Wrap the configured strategy per ``privacy_mode`` (see
+        :mod:`repro.privacy`); every scheduler then runs privatized
+        unchanged.
+
+        Two seam subtleties live here rather than in the wrapper:
+
+        * **Amplification is the sampler's claim.**  The accountant may
+          only use a sub-1 sampling rate when per-round inclusion is
+          genuinely bounded and history-independent, so the rate comes
+          from ``sampler.dp_sample_rate`` (1.0 — no amplification — for
+          sticky/norm-aware/utility policies) and is forced to 1.0 under
+          the async scheduler, whose continuous dispatch keeps clients in
+          flight rather than sampling rounds.
+        * **Noise goes under quantization, not over it.**  A
+          ``QuantizedStrategy`` re-prices payloads to ``bits`` per value;
+          noising *after* quantization would put off-grid floats on wire
+          bytes priced for the grid.  The private layer is spliced inside
+          the quantization wrapper: ``Quantized(Private(inner))``.
+        """
+        from repro.compression.quantized import QuantizedStrategy
+        from repro.privacy import build_private_strategy
+
+        if config.scheduler in ("sync", "failure"):
+            sample_rate = config.sampler.dp_sample_rate(
+                self.n, config.overcommit
+            )
+        else:
+            sample_rate = 1.0
+
+        def privatize(inner):
+            return build_private_strategy(
+                inner,
+                mode=config.privacy_mode,
+                rounds=config.rounds,
+                sample_rate=sample_rate,
+                epsilon=config.privacy_epsilon,
+                delta=config.privacy_delta,
+                clip_norm=config.privacy_clip_norm,
+                noise_multiplier=config.privacy_noise_multiplier,
+                defense_fraction=config.privacy_defense_fraction,
+            )
+
+        if isinstance(config.strategy, QuantizedStrategy):
+            return QuantizedStrategy(
+                privatize(config.strategy.inner), bits=config.strategy.bits
+            )
+        return privatize(config.strategy)
 
     # -- weights ---------------------------------------------------------------
     def _weights_for(

@@ -1,0 +1,60 @@
+"""Privacy-aware compression: clipping, Gaussian noise, RDP accounting.
+
+GlueFL's sticky masks reveal exactly which coordinates each client deems
+important; this subsystem makes the privacy counter-measures expressible
+on the same compression seam the schedulers already share:
+
+- :mod:`repro.privacy.clipping` — per-client L2 clipping (the sensitivity
+  bound);
+- :mod:`repro.privacy.mechanisms` — the Gaussian mechanism over
+  transmitted values only (byte counts stay exact);
+- :mod:`repro.privacy.accountant` — an RDP/moments accountant for the
+  sampled Gaussian mechanism, plus noise calibration from a target ε;
+- :mod:`repro.privacy.strategy` — :class:`PrivateStrategy`, the wrapper
+  that composes all of it with any
+  :class:`~repro.compression.base.CompressionStrategy`, and the
+  ``random_defense`` mode (Kim & Park, 2024).
+
+Enable per run with ``RunConfig(privacy_mode="gaussian",
+privacy_epsilon=8.0, ...)`` — see :class:`~repro.fl.config.RunConfig` —
+or wrap a strategy directly:
+
+>>> from repro.compression import STCStrategy
+>>> from repro.privacy import PrivateStrategy
+>>> private = PrivateStrategy(STCStrategy(q=0.2), clip_norm=1.0,
+...                           noise_multiplier=1.2, sample_rate=0.05)
+>>> private.name
+'stc+dp'
+"""
+
+from repro.privacy.accountant import (
+    DEFAULT_ORDERS,
+    RdpAccountant,
+    calibrate_noise_multiplier,
+    gaussian_rdp,
+    rdp_to_epsilon,
+    sampled_gaussian_rdp,
+)
+from repro.privacy.clipping import clip_by_l2, clip_factor
+from repro.privacy.mechanisms import add_gaussian_noise, gaussian_noise_std
+from repro.privacy.strategy import (
+    PRIVACY_MODES,
+    PrivateStrategy,
+    build_private_strategy,
+)
+
+__all__ = [
+    "PRIVACY_MODES",
+    "PrivateStrategy",
+    "build_private_strategy",
+    "RdpAccountant",
+    "DEFAULT_ORDERS",
+    "gaussian_rdp",
+    "sampled_gaussian_rdp",
+    "rdp_to_epsilon",
+    "calibrate_noise_multiplier",
+    "clip_by_l2",
+    "clip_factor",
+    "gaussian_noise_std",
+    "add_gaussian_noise",
+]

@@ -1,0 +1,64 @@
+"""Per-client update clipping — the sensitivity bound of DP-FedAvg.
+
+Differential privacy needs a hard bound on how much any one client can
+move the aggregate; the standard bound is an L2 clip of the local update
+*before* compression and noising (Abadi et al., 2016; McMahan et al.,
+2018).  Clipping is a pure projection, so it composes with any
+:class:`~repro.compression.base.CompressionStrategy` downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["clip_factor", "clip_by_l2"]
+
+
+def clip_factor(norm: float, clip_norm: float) -> float:
+    """Scale factor projecting a vector of length ``norm`` into the L2 ball.
+
+    Returns ``min(1, clip_norm / norm)`` — 1.0 when the vector already
+    fits (clipping never *grows* an update).
+
+    >>> clip_factor(10.0, 5.0)
+    0.5
+    >>> clip_factor(3.0, 5.0)
+    1.0
+    >>> clip_factor(0.0, 5.0)
+    1.0
+    """
+    if clip_norm <= 0:
+        raise ValueError(f"clip_norm must be positive, got {clip_norm}")
+    if norm <= clip_norm:
+        return 1.0
+    return clip_norm / norm
+
+
+def clip_by_l2(
+    delta: np.ndarray, clip_norm: Optional[float]
+) -> Tuple[np.ndarray, float]:
+    """Project ``delta`` into the L2 ball of radius ``clip_norm``.
+
+    Returns ``(clipped, factor)``.  ``clip_norm=None`` disables clipping
+    entirely (``factor == 1.0`` and ``delta`` is returned *unscaled and
+    uncopied*), so a no-op privacy wrapper stays bit-identical to its
+    wrapped strategy.  When clipping does fire, the result is a fresh
+    array in the input's dtype.
+
+    >>> import numpy as np
+    >>> v = np.array([3.0, 4.0])            # ‖v‖₂ = 5
+    >>> clipped, factor = clip_by_l2(v, 2.5)
+    >>> clipped.tolist(), factor
+    ([1.5, 2.0], 0.5)
+    >>> same, factor = clip_by_l2(v, None)  # disabled: the very same array
+    >>> same is v, factor
+    (True, 1.0)
+    """
+    if clip_norm is None:
+        return delta, 1.0
+    factor = clip_factor(float(np.linalg.norm(delta)), clip_norm)
+    if factor >= 1.0:
+        return delta, 1.0
+    return (delta * factor).astype(delta.dtype, copy=False), factor

@@ -53,7 +53,7 @@ class RngFactory:
     >>> rngs = RngFactory(seed=7)
     >>> a = rngs("sampler").integers(0, 100)
     >>> b = RngFactory(seed=7)("sampler").integers(0, 100)
-    >>> a == b
+    >>> bool(a == b)
     True
     """
 

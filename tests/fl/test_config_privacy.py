@@ -1,0 +1,110 @@
+"""RunConfig.validate on the privacy knobs."""
+
+import pytest
+
+from repro.compression import FedAvgStrategy
+from repro.datasets import femnist_like
+from repro.fl import RunConfig, UniformSampler
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return femnist_like(
+        num_clients=20, num_classes=4, image_size=8,
+        samples_per_client=16, min_samples=4, seed=1,
+    )
+
+
+def make(dataset, **overrides):
+    params = dict(
+        dataset=dataset,
+        model_name="mlp",
+        strategy=FedAvgStrategy(),
+        sampler=UniformSampler(4),
+        rounds=5,
+    )
+    params.update(overrides)
+    return RunConfig(**params)
+
+
+def test_default_is_off_and_valid(dataset):
+    config = make(dataset)
+    assert config.privacy_mode == "off"
+    config.validate()
+
+
+def test_unknown_mode_rejected(dataset):
+    with pytest.raises(ValueError, match="privacy_mode"):
+        make(dataset, privacy_mode="laplace").validate()
+
+
+def test_negative_epsilon_rejected(dataset):
+    with pytest.raises(ValueError, match="privacy_epsilon"):
+        make(dataset, privacy_epsilon=-1.0).validate()
+    with pytest.raises(ValueError, match="privacy_epsilon"):
+        make(dataset, privacy_epsilon=0.0).validate()
+
+
+def test_nonpositive_clip_norm_rejected(dataset):
+    with pytest.raises(ValueError, match="privacy_clip_norm"):
+        make(dataset, privacy_clip_norm=0.0).validate()
+    with pytest.raises(ValueError, match="privacy_clip_norm"):
+        make(dataset, privacy_clip_norm=-2.0).validate()
+
+
+def test_bad_delta_rejected(dataset):
+    for delta in (0.0, 1.0, -0.5):
+        with pytest.raises(ValueError, match="privacy_delta"):
+            make(dataset, privacy_delta=delta).validate()
+
+
+def test_negative_noise_multiplier_rejected(dataset):
+    with pytest.raises(ValueError, match="privacy_noise_multiplier"):
+        make(dataset, privacy_noise_multiplier=-0.1).validate()
+
+
+def test_defense_fraction_range(dataset):
+    with pytest.raises(ValueError, match="privacy_defense_fraction"):
+        make(dataset, privacy_defense_fraction=1.0).validate()
+    with pytest.raises(ValueError, match="privacy_defense_fraction"):
+        make(dataset, privacy_defense_fraction=-0.1).validate()
+    make(dataset, privacy_mode="random_defense",
+         privacy_defense_fraction=0.0).validate()
+
+
+def test_gaussian_needs_a_budget_or_multiplier(dataset):
+    with pytest.raises(ValueError, match="gaussian"):
+        make(dataset, privacy_mode="gaussian",
+             privacy_clip_norm=1.0).validate()
+    make(dataset, privacy_mode="gaussian", privacy_epsilon=4.0,
+         privacy_clip_norm=1.0).validate()
+    make(dataset, privacy_mode="gaussian", privacy_noise_multiplier=1.0,
+         privacy_clip_norm=1.0).validate()
+
+
+def test_gaussian_noise_needs_clip_norm(dataset):
+    # clip_norm defaults to None: gaussian noise must set it explicitly
+    with pytest.raises(ValueError, match="clip"):
+        make(dataset, privacy_mode="gaussian", privacy_epsilon=4.0).validate()
+    with pytest.raises(ValueError, match="clip"):
+        make(dataset, privacy_mode="gaussian",
+             privacy_noise_multiplier=1.0).validate()
+    # ... but an explicit zero-noise run may skip clipping (the no-op)
+    make(dataset, privacy_mode="gaussian",
+         privacy_noise_multiplier=0.0).validate()
+
+
+def test_random_defense_rejects_gaussian_knobs(dataset):
+    # masking adds no noise: a user setting noise/epsilon knobs expects
+    # masking + DP, which this mode does not provide — fail loudly
+    with pytest.raises(ValueError, match="random_defense"):
+        make(dataset, privacy_mode="random_defense",
+             privacy_noise_multiplier=1.0, privacy_clip_norm=2.0).validate()
+    with pytest.raises(ValueError, match="random_defense"):
+        make(dataset, privacy_mode="random_defense",
+             privacy_epsilon=8.0).validate()
+
+
+def test_off_mode_ignores_stale_knob_combinations(dataset):
+    # privacy off: epsilon/clip knobs may sit at any *valid* value
+    make(dataset, privacy_epsilon=8.0, privacy_clip_norm=2.0).validate()

@@ -1,0 +1,142 @@
+"""RDP accountant: formula sanity, composition, calibration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.privacy import (
+    DEFAULT_ORDERS,
+    RdpAccountant,
+    calibrate_noise_multiplier,
+    gaussian_rdp,
+    rdp_to_epsilon,
+    sampled_gaussian_rdp,
+)
+
+
+class TestRdpFormulas:
+    def test_gaussian_rdp_closed_form(self):
+        out = gaussian_rdp(2.0, [2, 3, 10])
+        assert np.allclose(out, [2 / 8, 3 / 8, 10 / 8])
+
+    def test_zero_noise_is_infinite(self):
+        assert np.isinf(gaussian_rdp(0.0, [2, 3])).all()
+        assert np.isinf(sampled_gaussian_rdp(0.5, 0.0, [2, 3])).all()
+
+    def test_sampling_rate_one_matches_plain_gaussian(self):
+        orders = list(range(2, 20))
+        assert np.allclose(
+            sampled_gaussian_rdp(1.0, 1.3, orders), gaussian_rdp(1.3, orders)
+        )
+
+    def test_sampling_rate_zero_releases_nothing(self):
+        assert (sampled_gaussian_rdp(0.0, 1.0, [2, 5]) == 0.0).all()
+
+    def test_subsampling_amplifies(self):
+        orders = list(range(2, 33))
+        full = gaussian_rdp(1.0, orders)
+        for q in (0.01, 0.1, 0.5):
+            sub = sampled_gaussian_rdp(q, 1.0, orders)
+            assert (sub <= full + 1e-12).all()
+            assert (sub >= 0.0).all()
+
+    def test_rdp_monotone_in_sample_rate(self):
+        orders = [2, 4, 8]
+        a = sampled_gaussian_rdp(0.05, 1.0, orders)
+        b = sampled_gaussian_rdp(0.2, 1.0, orders)
+        assert (a <= b + 1e-12).all()
+
+    def test_non_integer_order_rejected(self):
+        with pytest.raises(ValueError):
+            sampled_gaussian_rdp(0.1, 1.0, [2.5])
+
+    def test_bad_sample_rate_rejected(self):
+        with pytest.raises(ValueError):
+            sampled_gaussian_rdp(1.5, 1.0, [2])
+
+
+class TestConversion:
+    def test_known_gaussian_epsilon_band(self):
+        # one sigma=1 release at delta=1e-5: the RDP conversion gives
+        # eps = min_a a/2 + log(1e5)/(a-1) ~ 5.3 around a ~ 5-6
+        eps, order = rdp_to_epsilon(
+            gaussian_rdp(1.0, DEFAULT_ORDERS), DEFAULT_ORDERS, 1e-5
+        )
+        assert 4.0 < eps < 6.5
+        assert order in DEFAULT_ORDERS
+
+    def test_more_noise_less_epsilon(self):
+        def eps(z):
+            return rdp_to_epsilon(
+                gaussian_rdp(z, DEFAULT_ORDERS), DEFAULT_ORDERS, 1e-5
+            )[0]
+
+        assert eps(0.5) > eps(1.0) > eps(2.0) > eps(4.0)
+
+    def test_bad_delta_rejected(self):
+        with pytest.raises(ValueError):
+            rdp_to_epsilon(np.array([1.0]), [2], 0.0)
+
+
+class TestAccountant:
+    def test_epsilon_monotone_in_steps(self):
+        acct = RdpAccountant(1.0, sample_rate=0.1)
+        seen = [acct.epsilon()]
+        for _ in range(20):
+            acct.step()
+            seen.append(acct.epsilon())
+        assert seen[0] == 0.0
+        assert all(b > a for a, b in zip(seen, seen[1:]))
+
+    def test_zero_noise_spends_infinity(self):
+        acct = RdpAccountant(0.0)
+        acct.step()
+        assert math.isinf(acct.epsilon())
+
+    def test_zero_steps_spends_nothing(self):
+        assert RdpAccountant(1.0).epsilon() == 0.0
+
+    def test_batch_step(self):
+        a, b = RdpAccountant(1.0, sample_rate=0.2), RdpAccountant(1.0, sample_rate=0.2)
+        a.step(7)
+        for _ in range(7):
+            b.step()
+        assert a.epsilon() == b.epsilon()
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            RdpAccountant(-1.0)
+        with pytest.raises(ValueError):
+            RdpAccountant(1.0, delta=1.0)
+        with pytest.raises(ValueError):
+            RdpAccountant(1.0).step(-1)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("target", [0.5, 2.0, 8.0])
+    def test_calibrated_noise_meets_budget_tightly(self, target):
+        z = calibrate_noise_multiplier(target, 1e-5, rounds=40, sample_rate=0.1)
+        acct = RdpAccountant(z, sample_rate=0.1)
+        acct.step(40)
+        assert acct.epsilon() <= target
+        # and not wastefully loose: slightly less noise overshoots
+        loose = RdpAccountant(max(z - 0.05, 1e-4), sample_rate=0.1)
+        loose.step(40)
+        assert loose.epsilon() > target * 0.9
+
+    def test_more_rounds_need_more_noise(self):
+        z10 = calibrate_noise_multiplier(4.0, 1e-5, rounds=10, sample_rate=0.1)
+        z100 = calibrate_noise_multiplier(4.0, 1e-5, rounds=100, sample_rate=0.1)
+        assert z100 > z10
+
+    def test_subsampling_needs_less_noise(self):
+        z_full = calibrate_noise_multiplier(4.0, 1e-5, rounds=50, sample_rate=1.0)
+        z_sub = calibrate_noise_multiplier(4.0, 1e-5, rounds=50, sample_rate=0.05)
+        assert z_sub < z_full
+
+    def test_invalid_targets_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_noise_multiplier(-1.0, 1e-5, rounds=10)
+        with pytest.raises(ValueError):
+            calibrate_noise_multiplier(1.0, 1e-5, rounds=0)

@@ -1,0 +1,45 @@
+"""Per-client L2 clipping."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import clip_by_l2, clip_factor
+
+
+def test_factor_caps_at_one():
+    assert clip_factor(10.0, 5.0) == 0.5
+    assert clip_factor(2.0, 5.0) == 1.0
+    assert clip_factor(0.0, 5.0) == 1.0
+
+
+def test_factor_rejects_bad_bound():
+    with pytest.raises(ValueError):
+        clip_factor(1.0, 0.0)
+
+
+def test_clip_projects_to_ball():
+    rng = np.random.default_rng(0)
+    v = rng.normal(size=100) * 10
+    clipped, factor = clip_by_l2(v, 1.0)
+    assert np.isclose(np.linalg.norm(clipped), 1.0)
+    assert 0 < factor < 1
+    # direction preserved
+    assert np.allclose(clipped / factor, v)
+
+
+def test_clip_noop_inside_ball_returns_same_array():
+    v = np.array([0.1, 0.2])
+    out, factor = clip_by_l2(v, 5.0)
+    assert out is v and factor == 1.0
+
+
+def test_clip_none_disables():
+    v = np.array([100.0, 100.0])
+    out, factor = clip_by_l2(v, None)
+    assert out is v and factor == 1.0
+
+
+def test_clip_preserves_dtype():
+    v = np.full(4, 10.0, dtype=np.float32)
+    clipped, _ = clip_by_l2(v, 1.0)
+    assert clipped.dtype == np.float32
