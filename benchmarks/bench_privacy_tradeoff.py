@@ -10,6 +10,12 @@ This sweep quantifies what that costs in accuracy:
 * rows: privacy off, ε = 8, ε = 2 (total budget over the run at
   δ = 1e-5, noise calibrated by the RDP accountant).
 
+Both swept strategies transmit client-chosen top-k indices, so every
+gaussian cell runs under ``privacy_values_only=True``: the reported ε
+covers the released *values* only — the index sets are a data-dependent
+release the mechanism does not analyze (dense FedAvg would need no such
+waiver, but is not a bandwidth-relevant column).
+
 Printed per cell: final accuracy, cumulative up/down volume, and the
 accountant's final ε.  Asserted: upstream volume is byte-identical with
 privacy on vs off (the bandwidth-exactness claim), ε spend is monotone
@@ -44,6 +50,9 @@ def _run_cell(scenario, strategy_name, epsilon, mode="gaussian", seed=0):
             privacy_mode="gaussian",
             privacy_epsilon=epsilon,
             privacy_clip_norm=2.0,
+            # GlueFL/STC upload client-chosen indices: epsilon is a
+            # values-only claim (see the module docstring)
+            privacy_values_only=True,
         )
     return run_training(
         build_config(scenario, strategy, sampler, seed=seed, **overrides)

@@ -78,6 +78,19 @@ class CompressionStrategy:
 
     name: str = "base"
 
+    #: True when ``client_compress`` chooses *which coordinates to
+    #: transmit* as a function of the client's own update (client-side
+    #: top-k: STC, GlueFL's unique part).  False when the transmitted
+    #: support is dense or fixed by server/public state before the client
+    #: looks at its delta (FedAvg, APF's frozen-coordinate mask — derived
+    #: from global-model history, i.e. post-processing of what was already
+    #: released).  Privacy wrappers consult this flag: adding noise to the
+    #: transmitted values does not cover a data-dependent index release,
+    #: so a Gaussian-mechanism ε over such a strategy is values-only (see
+    #: :class:`~repro.privacy.strategy.PrivateStrategy`).  Wrappers must
+    #: delegate it to their inner strategy.
+    data_dependent_selection: bool = False
+
     def __init__(self) -> None:
         self.d: int = 0
         self.dtype: np.dtype = np.dtype(np.float64)

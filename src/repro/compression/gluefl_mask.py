@@ -61,6 +61,10 @@ class GlueFLMaskStrategy(CompressionStrategy):
     """
 
     name = "gluefl"
+    # the shared-mask part is server-chosen (data-independent for the
+    # uploading client), but the unique top-(q − q_shr) part — and the
+    # whole upload on regeneration rounds — is the client's own top-k
+    data_dependent_selection = True
 
     def __init__(
         self,

@@ -44,6 +44,11 @@ class QuantizedStrategy(CompressionStrategy):
         self._rng: np.random.Generator = np.random.default_rng(0)
 
     # -- delegation --------------------------------------------------------
+    @property
+    def data_dependent_selection(self) -> bool:
+        # quantization transforms values, never the transmitted support
+        return self.inner.data_dependent_selection
+
     def setup(self, d: int, rng: np.random.Generator, dtype=np.float64) -> None:
         super().setup(d, rng, dtype=dtype)
         self._rng = rng

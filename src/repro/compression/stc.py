@@ -53,6 +53,9 @@ class STCStrategy(CompressionStrategy):
     """
 
     name = "stc"
+    # each client uploads the top-q of its *own* delta: the index set is a
+    # data-dependent release a values-only Gaussian mechanism cannot cover
+    data_dependent_selection = True
 
     def __init__(
         self,

@@ -12,6 +12,7 @@ from repro.fl.config import RunConfig
 from repro.fl.metrics import BandwidthReport, RoundRecord, RunResult
 from repro.fl.samplers import (
     ClientSampler,
+    PoissonSampler,
     SampleDraw,
     StickySampler,
     UniformSampler,
@@ -33,6 +34,7 @@ __all__ = [
     "BandwidthReport",
     "ClientSampler",
     "UniformSampler",
+    "PoissonSampler",
     "StickySampler",
     "SampleDraw",
     "StalenessTracker",

@@ -75,10 +75,18 @@ class RunConfig:
       ``privacy_noise_multiplier`` overrides the calibration.
     * Accounting is honest about composition: with noise on, the wrapped
       strategy's client-side error compensation is disabled (residuals
-      would breach the clip bound), and subsampling amplification is only
-      claimed when the sampler's ``dp_sample_rate`` bounds per-round
-      inclusion (uniform sampling; sticky/norm-aware policies and the
-      async scheduler account at rate 1.0).
+      would breach the clip bound; ``random_defense`` disables it too, so
+      masked coordinates are not re-uploaded later), and subsampling
+      amplification is only claimed when the sampler's ``dp_sample_rate``
+      genuinely bounds per-round inclusion under the *Poisson* scheme the
+      accountant's bound is proved for
+      (:class:`~repro.fl.samplers.PoissonSampler`; every other built-in
+      sampler and the async scheduler account at rate 1.0).
+    * Sparsifying strategies whose clients choose their own transmitted
+      coordinates (STC, the GlueFL mask) release a data-dependent index
+      set that value noise cannot cover, so gaussian noise over them is
+      rejected unless ``privacy_values_only=True`` acknowledges (with a
+      warning) that the reported ε covers the released values only.
     * Per-round spend lands in
       :attr:`~repro.fl.metrics.RoundRecord.privacy_epsilon_spent`, and
       norm-aware samplers only ever observe privatized update norms.
@@ -169,8 +177,18 @@ class RunConfig:
     #: explicit noise multiplier z (std = z·S per transmitted coordinate);
     #: overrides the ε-based calibration when set
     privacy_noise_multiplier: Optional[float] = None
-    #: random_defense: fraction of coordinates zeroed per client per round
-    privacy_defense_fraction: float = 0.5
+    #: random_defense: fraction of coordinates zeroed per client per round;
+    #: None (the default) means the mode's default
+    #: (``repro.privacy.DEFAULT_DEFENSE_FRACTION``).  Like the other
+    #: privacy knobs, setting it under any other mode is rejected — a set
+    #: knob that does nothing is a silent non-defense
+    privacy_defense_fraction: Optional[float] = None
+    #: gaussian only: accept (with a UserWarning) that noising a strategy
+    #: with client-chosen transmitted coordinates (STC, GlueFL) yields an
+    #: ε covering the released *values* only — the chosen index set is a
+    #: data-dependent release the mechanism does not analyze.  Without
+    #: this waiver such combinations are rejected
+    privacy_values_only: bool = False
 
     # evaluation
     eval_every: int = 5
@@ -263,8 +281,44 @@ class RunConfig:
             and self.privacy_noise_multiplier < 0
         ):
             raise ValueError("privacy_noise_multiplier must be non-negative")
-        if not 0.0 <= self.privacy_defense_fraction < 1.0:
+        if self.privacy_defense_fraction is not None and not (
+            0.0 <= self.privacy_defense_fraction < 1.0
+        ):
             raise ValueError("privacy_defense_fraction must be in [0, 1)")
+        if (
+            self.privacy_defense_fraction is not None
+            and self.privacy_mode == "gaussian"
+        ):
+            raise ValueError(
+                "privacy_defense_fraction belongs to "
+                "privacy_mode='random_defense'; the gaussian mechanism "
+                "masks nothing"
+            )
+        if self.privacy_mode == "off":
+            stale = [
+                name
+                for name, value in (
+                    ("privacy_epsilon", self.privacy_epsilon),
+                    ("privacy_clip_norm", self.privacy_clip_norm),
+                    ("privacy_noise_multiplier", self.privacy_noise_multiplier),
+                    ("privacy_defense_fraction", self.privacy_defense_fraction),
+                )
+                if value is not None
+            ]
+            if self.privacy_values_only:
+                stale.append("privacy_values_only")
+            if stale:
+                raise ValueError(
+                    f"privacy_mode='off' ignores {', '.join(stale)}; a "
+                    "budget without a mode would run non-private silently "
+                    "— set privacy_mode='gaussian' (or unset the knobs)"
+                )
+        if self.privacy_values_only and self.privacy_mode != "gaussian":
+            raise ValueError(
+                "privacy_values_only qualifies the gaussian mechanism's "
+                f"epsilon; it means nothing under "
+                f"privacy_mode={self.privacy_mode!r}"
+            )
         if self.privacy_mode == "random_defense" and (
             self.privacy_epsilon is not None
             or self.privacy_noise_multiplier is not None
@@ -284,6 +338,16 @@ class RunConfig:
                     "calibrate noise) or an explicit "
                     "privacy_noise_multiplier"
                 )
+            if (
+                self.privacy_epsilon is not None
+                and self.privacy_noise_multiplier is not None
+            ):
+                raise ValueError(
+                    "privacy_epsilon and privacy_noise_multiplier are "
+                    "alternative ways to set the noise level; an explicit "
+                    "multiplier overrides the calibration, so the epsilon "
+                    "budget would be silently ignored — set exactly one"
+                )
             noisy = (
                 self.privacy_noise_multiplier is None  # ε-calibrated > 0
                 or self.privacy_noise_multiplier > 0
@@ -292,6 +356,19 @@ class RunConfig:
                 raise ValueError(
                     "gaussian noise requires privacy_clip_norm: the clip "
                     "bound is the mechanism's sensitivity"
+                )
+            if (
+                noisy
+                and not self.privacy_values_only
+                and getattr(self.strategy, "data_dependent_selection", False)
+            ):
+                raise ValueError(
+                    f"strategy {self.strategy.name!r} transmits "
+                    "client-chosen coordinates; gaussian noise covers the "
+                    "values but not that data-dependent index release.  "
+                    "Set privacy_values_only=True to accept values-only "
+                    "accounting, or use a strategy with data-independent "
+                    "selection (fedavg, apf)"
                 )
         if self.sampler.k > self.dataset.num_clients:
             raise ValueError(

@@ -1,4 +1,4 @@
-"""Client sampling: uniform (FedAvg) and sticky (GlueFL Algorithm 2).
+"""Client sampling: uniform (FedAvg), sticky (GlueFL Alg. 2), Poisson (DP).
 
 A sampler produces a :class:`SampleDraw` per round: *candidate* client ids
 (over-committed, §5.6) split into a sticky and a non-sticky bucket with
@@ -28,8 +28,11 @@ this contract entirely (the Fig. 5 "Equal" ablation).
 
 Samplers that adapt to training signals set ``wants_update_norms`` and
 receive :meth:`ClientSampler.observe_update` callbacks — the engine's
-compression seam feeds every participant's raw update norm back after
-local training, in both the sync and async schedulers.
+compression seam feeds every participant's update norm back after local
+training (the *privatized* norm whenever a privacy wrapper is active,
+never the raw one; see
+:meth:`repro.privacy.strategy.PrivateStrategy.feedback_norm`), in both
+the sync and async schedulers.
 """
 
 from __future__ import annotations
@@ -42,7 +45,13 @@ import numpy as np
 
 from repro.fl.aggregation import fedavg_weights, sticky_weights
 
-__all__ = ["SampleDraw", "ClientSampler", "UniformSampler", "StickySampler"]
+__all__ = [
+    "SampleDraw",
+    "ClientSampler",
+    "UniformSampler",
+    "PoissonSampler",
+    "StickySampler",
+]
 
 
 @dataclass
@@ -146,15 +155,17 @@ class ClientSampler:
     def dp_sample_rate(self, num_clients: int, overcommit: float) -> float:
         """Per-round inclusion probability the privacy accountant may use.
 
-        Subsampling amplification (the sampled-Gaussian RDP bound) is only
-        valid when every client's round-inclusion is bounded by a known
-        rate, independent across rounds.  The base answer is the
-        conservative **1.0** — no amplification claimed — because a
-        generic policy (sticky groups with persistent membership,
-        norm-proportional draws, utility chasing) gives some clients a
-        much higher, history-correlated inclusion probability.  Samplers
-        whose draw genuinely bounds the marginal inclusion override this
-        (see :class:`UniformSampler`).
+        The accountant's amplification bound (the Mironov et al.
+        sampled-Gaussian RDP bound) is proved for **Poisson** subsampling:
+        each client included independently with probability ≤ q.  The base
+        answer is the conservative **1.0** — no amplification claimed —
+        because no other draw shape qualifies: sticky groups and
+        norm/utility policies give some clients a history-correlated
+        inclusion probability, and even uniform fixed-size sampling
+        without replacement is a different scheme whose RDP the Poisson
+        bound does not upper-bound.  Only a sampler whose draw *is*
+        independent per-client Bernoulli overrides this (see
+        :class:`PoissonSampler`).
         """
         return 1.0
 
@@ -206,15 +217,15 @@ class ClientSampler:
 
 
 class UniformSampler(ClientSampler):
-    """FedAvg's uniform sampling without replacement."""
+    """FedAvg's uniform sampling without replacement.
 
-    def dp_sample_rate(self, num_clients: int, overcommit: float) -> float:
-        """Uniform draws bound every client's inclusion by the candidate
-        rate ``OC·K / N`` (participants are the fastest K *of* those
-        candidates, so the marginal inclusion probability can only be
-        smaller; RDP is monotone in the rate, making this an upper
-        bound)."""
-        return min(1.0, overcommit * self.k / num_clients)
+    Claims no DP amplification (``dp_sample_rate`` stays 1.0): a
+    fixed-size draw bounds each client's *marginal* inclusion by
+    ``OC·K/N``, but it is not Poisson subsampling — inclusions are
+    negatively correlated — and the accountant's Poisson bound being
+    monotone in q does not make it an upper bound across sampling
+    schemes.  Use :class:`PoissonSampler` when amplification matters.
+    """
 
     def draw(
         self, round_idx: int, available: np.ndarray, overcommit: float = 1.0
@@ -229,6 +240,57 @@ class UniformSampler(ClientSampler):
             nonsticky=chosen.astype(np.int64),
             quota_sticky=0,
             quota_nonsticky=min(self.k, want),
+        )
+
+
+class PoissonSampler(ClientSampler):
+    """Poisson (independent per-client Bernoulli) sampling — the DP sampler.
+
+    Every available client joins the round's candidate set independently
+    with probability ``q = min(1, OC·K/N)``; the round aggregates the
+    fastest ``min(K, |drawn|)`` of them.  Unlike the fixed-size samplers
+    the cohort size varies round to round and can come up *empty* — set
+    ``skip_empty_rounds=True`` on small federations.
+
+    This is the only built-in sampler whose :meth:`dp_sample_rate` claims
+    subsampling amplification, because its draw is exactly the scheme the
+    accountant's sampled-Gaussian RDP bound is proved for.  A client's
+    inclusion in the *aggregated* set is Bernoulli with probability
+    ``q·s_i ≤ q``, where ``s_i`` (online, survives, fast enough) is
+    data-independent, so the rate-``q`` Poisson bound upper-bounds the
+    release.
+
+    Aggregation uses the inherited Eq. 2 correction ``(N/K)·p_i`` — the
+    Horvitz–Thompson weight at the expected participation rate ``K/N``.
+    Like the other samplers' corrections it treats over-commitment and
+    speed selection as second-order (see
+    :mod:`repro.fl.extra_samplers` for the bias discussion).
+    """
+
+    #: Poisson's policy lives entirely in per-round draw() calls, which
+    #: the async scheduler never makes (it dispatches replacements
+    #: continuously) — the config rejects the pairing
+    supports_async = False
+
+    def dp_sample_rate(self, num_clients: int, overcommit: float) -> float:
+        """The genuine Poisson candidate rate ``q = min(1, OC·K/N)``."""
+        return min(1.0, overcommit * self.k / num_clients)
+
+    def draw(
+        self, round_idx: int, available: np.ndarray, overcommit: float = 1.0
+    ) -> SampleDraw:
+        if overcommit < 1.0:
+            raise ValueError(f"overcommit must be >= 1.0, got {overcommit}")
+        pool = np.flatnonzero(available)
+        if len(pool) == 0:
+            raise RuntimeError(f"no clients available in round {round_idx}")
+        rate = self.dp_sample_rate(self.num_clients, overcommit)
+        drawn = pool[self._rng.random(len(pool)) < rate]
+        return SampleDraw(
+            sticky=np.empty(0, dtype=np.int64),
+            nonsticky=drawn.astype(np.int64),
+            quota_sticky=0,
+            quota_nonsticky=min(self.k, len(drawn)),
         )
 
 

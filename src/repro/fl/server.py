@@ -149,13 +149,14 @@ class FLServer:
 
         Two seam subtleties live here rather than in the wrapper:
 
-        * **Amplification is the sampler's claim.**  The accountant may
-          only use a sub-1 sampling rate when per-round inclusion is
-          genuinely bounded and history-independent, so the rate comes
-          from ``sampler.dp_sample_rate`` (1.0 — no amplification — for
-          sticky/norm-aware/utility policies) and is forced to 1.0 under
-          the async scheduler, whose continuous dispatch keeps clients in
-          flight rather than sampling rounds.
+        * **Amplification is the sampler's claim.**  The accountant's
+          sampled-Gaussian bound is proved for *Poisson* subsampling, so
+          the rate comes from ``sampler.dp_sample_rate`` — sub-1 only for
+          :class:`~repro.fl.samplers.PoissonSampler`, whose draw is that
+          scheme; uniform fixed-size, sticky, norm-aware and utility
+          policies all answer 1.0 — and is forced to 1.0 under the async
+          scheduler, whose continuous dispatch keeps clients in flight
+          rather than sampling rounds.
         * **Noise goes under quantization, not over it.**  A
           ``QuantizedStrategy`` re-prices payloads to ``bits`` per value;
           noising *after* quantization would put off-grid floats on wire
@@ -183,6 +184,7 @@ class FLServer:
                 clip_norm=config.privacy_clip_norm,
                 noise_multiplier=config.privacy_noise_multiplier,
                 defense_fraction=config.privacy_defense_fraction,
+                values_only=config.privacy_values_only,
             )
 
         if isinstance(config.strategy, QuantizedStrategy):

@@ -17,14 +17,31 @@ on the same compression seam the schedulers already share:
 
 Enable per run with ``RunConfig(privacy_mode="gaussian",
 privacy_epsilon=8.0, ...)`` — see :class:`~repro.fl.config.RunConfig` —
-or wrap a strategy directly:
+or wrap a strategy directly.  Strategies whose clients choose their own
+transmitted coordinates (STC, the GlueFL mask) release a data-dependent
+index set that value noise cannot cover, so noising them requires the
+explicit ``values_only`` waiver (the reported ε then covers the released
+values only):
 
 >>> from repro.compression import STCStrategy
 >>> from repro.privacy import PrivateStrategy
->>> private = PrivateStrategy(STCStrategy(q=0.2), clip_norm=1.0,
-...                           noise_multiplier=1.2, sample_rate=0.05)
+>>> PrivateStrategy(STCStrategy(q=0.2), clip_norm=1.0,
+...                 noise_multiplier=1.2)   # doctest: +ELLIPSIS
+Traceback (most recent call last):
+ValueError: strategy 'stc' selects its transmitted coordinates...
+>>> import warnings
+>>> with warnings.catch_warnings():        # the waiver warns
+...     warnings.simplefilter("ignore")
+...     private = PrivateStrategy(STCStrategy(q=0.2), clip_norm=1.0,
+...                               noise_multiplier=1.2, values_only=True)
 >>> private.name
 'stc+dp'
+
+(``sample_rate`` stays at its default 1.0 above: the accountant's
+subsampling amplification is only sound when clients are drawn by
+:class:`~repro.fl.samplers.PoissonSampler` — the ``RunConfig`` path
+asks the sampler via ``dp_sample_rate`` rather than trusting a
+hand-supplied K/N.)
 """
 
 from repro.privacy.accountant import (
@@ -38,12 +55,14 @@ from repro.privacy.accountant import (
 from repro.privacy.clipping import clip_by_l2, clip_factor
 from repro.privacy.mechanisms import add_gaussian_noise, gaussian_noise_std
 from repro.privacy.strategy import (
+    DEFAULT_DEFENSE_FRACTION,
     PRIVACY_MODES,
     PrivateStrategy,
     build_private_strategy,
 )
 
 __all__ = [
+    "DEFAULT_DEFENSE_FRACTION",
     "PRIVACY_MODES",
     "PrivateStrategy",
     "build_private_strategy",

@@ -30,12 +30,30 @@ Two modes:
     ``server_residual`` are post-processing of already-noised aggregates
     and stay untouched.)
 
+    **The analyzed mechanism releases noisy values at a data-independent
+    support.**  A sparsifying strategy whose clients pick their own top-k
+    (:attr:`~repro.compression.base.CompressionStrategy.data_dependent_selection`)
+    additionally releases the chosen *index set* — a data-dependent
+    function of the private delta that no amount of value noise covers,
+    so the accountant's (ε, δ) would overstate the guarantee.  Wrapping
+    such a strategy with noise active therefore **raises** unless the
+    caller passes ``values_only=True``, which emits a ``UserWarning`` and
+    downgrades the claim explicitly: the stated ε then covers the
+    released *values only*, never the coordinate choice.  Dense FedAvg
+    and server/public-mask strategies (APF) need no such waiver.
+
 ``"random_defense"``
     Kim & Park's (2024) random gradient masking: before the wrapped
     strategy sees the delta, a fresh Bernoulli mask zeroes a
     ``defense_fraction`` of coordinates — a drop-in *random* mask
     schedule that blunts gradient-inversion without noise (and without a
     formal ε; :meth:`PrivateStrategy.privacy_epsilon_spent` stays None).
+
+    This mode too switches the wrapped strategy's client-side error
+    compensation off: a residual store would accumulate exactly the
+    coordinates the mask suppressed and re-upload them in later rounds,
+    eventually transmitting the masked information the defense exists to
+    withhold.
 
 Both modes feed norm-aware samplers the *privatized* norm: the engine's
 ``feed_update_norms`` hook asks :meth:`PrivateStrategy.feedback_norm`,
@@ -61,6 +79,7 @@ True
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -76,10 +95,19 @@ from repro.privacy.accountant import DEFAULT_ORDERS, RdpAccountant
 from repro.privacy.clipping import clip_by_l2
 from repro.privacy.mechanisms import add_gaussian_noise, gaussian_noise_std
 
-__all__ = ["PRIVACY_MODES", "PrivateStrategy", "build_private_strategy"]
+__all__ = [
+    "DEFAULT_DEFENSE_FRACTION",
+    "PRIVACY_MODES",
+    "PrivateStrategy",
+    "build_private_strategy",
+]
 
 #: Valid ``RunConfig.privacy_mode`` values ("off" disables wrapping).
 PRIVACY_MODES = ("off", "gaussian", "random_defense")
+
+#: ``random_defense`` masking fraction used when none is configured —
+#: the single source for the mode's default.
+DEFAULT_DEFENSE_FRACTION = 0.5
 
 
 def _payload_values_norm(payload: ClientPayload) -> float:
@@ -113,6 +141,12 @@ class PrivateStrategy(CompressionStrategy):
     defense_fraction:
         ``random_defense`` only: fraction of coordinates zeroed per
         client per round.
+    values_only:
+        Waiver for wrapping a strategy with
+        :attr:`~repro.compression.base.CompressionStrategy.data_dependent_selection`
+        under active gaussian noise: acknowledge (with a ``UserWarning``)
+        that the reported ε covers only the released values, not the
+        client-chosen index set.  Without it such a combination raises.
     sample_rate / delta / orders:
         Accountant parameters (see :class:`~repro.privacy.accountant.RdpAccountant`).
     """
@@ -124,10 +158,12 @@ class PrivateStrategy(CompressionStrategy):
         mode: str = "gaussian",
         clip_norm: Optional[float] = None,
         noise_multiplier: float = 0.0,
-        defense_fraction: float = 0.5,
+        defense_fraction: float = DEFAULT_DEFENSE_FRACTION,
+        values_only: bool = False,
         sample_rate: float = 1.0,
         delta: float = 1e-5,
         orders: Sequence[int] = DEFAULT_ORDERS,
+        _warn_stacklevel: int = 2,
     ):
         super().__init__()
         if mode not in ("gaussian", "random_defense"):
@@ -146,7 +182,37 @@ class PrivateStrategy(CompressionStrategy):
             )
         if not 0.0 <= defense_fraction < 1.0:
             raise ValueError("defense_fraction must be in [0, 1)")
+        if values_only and mode != "gaussian":
+            # mirror RunConfig.validate: a waiver on a mechanism with no
+            # epsilon records an honesty concession that never applies
+            raise ValueError(
+                "values_only qualifies the gaussian mechanism's epsilon; "
+                f"it means nothing under mode {mode!r}"
+            )
+        if (
+            mode == "gaussian"
+            and noise_multiplier > 0
+            and inner.data_dependent_selection
+        ):
+            if not values_only:
+                raise ValueError(
+                    f"strategy {inner.name!r} selects its transmitted "
+                    "coordinates from each client's private update; the "
+                    "Gaussian mechanism's (eps, delta) covers the noised "
+                    "values but not that index release.  Pass "
+                    "values_only=True to accept values-only accounting, "
+                    "or wrap a strategy with data-independent selection "
+                    "(dense FedAvg, a server/public mask)"
+                )
+            warnings.warn(
+                f"{inner.name!r} transmits client-chosen indices: the "
+                "accounted epsilon covers the released values only — the "
+                "index set is an unaccounted data-dependent release",
+                UserWarning,
+                stacklevel=_warn_stacklevel,
+            )
         self.inner = inner
+        self.values_only = bool(values_only)
         self.mode = mode
         self.clip_norm = clip_norm
         self.noise_multiplier = float(noise_multiplier)
@@ -175,14 +241,18 @@ class PrivateStrategy(CompressionStrategy):
                 delta=self.delta,
                 orders=self.orders,
             )
+        elif self.mode == "random_defense" and self.defense_fraction > 0:
+            self._disable_error_compensation()
 
     def _disable_error_compensation(self) -> None:
-        """Keep the clip bound the true sensitivity (see the module docs).
+        """Keep the privatization per-round honest (see the module docs).
 
         Client-side residual stores re-add unsent mass of earlier updates
-        before compression, which would push uploads past ``clip_norm``;
-        every ``ResidualStore`` found down the wrapper chain is replaced
-        by a ``NONE``-mode store.
+        before compression.  Under gaussian noise that would push uploads
+        past ``clip_norm`` (the mechanism's sensitivity); under
+        ``random_defense`` it would re-upload the very coordinates the
+        random mask suppressed.  Every ``ResidualStore`` found down the
+        wrapper chain is replaced by a ``NONE``-mode store.
         """
         strategy = self.inner
         while strategy is not None:
@@ -192,6 +262,10 @@ class PrivateStrategy(CompressionStrategy):
             strategy = getattr(strategy, "inner", None)
 
     def begin_round(self, round_idx: int) -> None:
+        # drop prior-round observations so feedback_norm can never hand a
+        # sampler a stale noisy norm for a client that did not compress
+        # this round
+        self._observed.clear()
         self.inner.begin_round(round_idx)
 
     def end_round(self, agg: AggregateResult, round_idx: int) -> None:
@@ -205,6 +279,12 @@ class PrivateStrategy(CompressionStrategy):
         self.inner.abort_round(round_idx)
 
     # -- pure delegation ----------------------------------------------------
+    @property
+    def data_dependent_selection(self) -> bool:
+        # clipping/noising/masking transform values; whether the support
+        # is client-chosen is the wrapped strategy's property
+        return self.inner.data_dependent_selection
+
     def downstream_extra_bytes(self) -> int:
         return self.inner.downstream_extra_bytes()
 
@@ -255,10 +335,21 @@ class PrivateStrategy(CompressionStrategy):
 
     # -- privacy-aware engine hooks -----------------------------------------
     def feedback_norm(self, client_id: int, delta: np.ndarray) -> float:
-        """The norm a norm-aware sampler may observe: privatized, not raw."""
+        """The norm a norm-aware sampler may observe: privatized, not raw.
+
+        For a client that compressed this round, the recorded norm of the
+        (noisy) payload it actually uploaded.  With noise active, a
+        client that released *nothing* this round has no privatized
+        observable, so the fallback is the data-independent ceiling
+        ``clip_norm`` — never the raw local norm, which would leak the
+        very magnitude the mechanism withholds.  Without noise the
+        wrapper adds no guarantee and delegates to the inner strategy.
+        """
         recorded = self._observed.get(int(client_id))
         if recorded is not None:
             return recorded
+        if self.mode == "gaussian" and self.noise_multiplier > 0:
+            return float(self.clip_norm)
         return self.inner.feedback_norm(client_id, delta)
 
     def privacy_epsilon_spent(self) -> Optional[float]:
@@ -279,7 +370,8 @@ def build_private_strategy(
     delta: float = 1e-5,
     clip_norm: Optional[float] = None,
     noise_multiplier: Optional[float] = None,
-    defense_fraction: float = 0.5,
+    defense_fraction: Optional[float] = None,
+    values_only: bool = False,
 ) -> PrivateStrategy:
     """Assemble a :class:`PrivateStrategy` from run-level knobs.
 
@@ -288,6 +380,8 @@ def build_private_strategy(
     is calibrated so the full ``rounds``-round spend stays within
     ``epsilon`` at ``delta``
     (:func:`~repro.privacy.accountant.calibrate_noise_multiplier`).
+    ``values_only`` is :class:`PrivateStrategy`'s waiver for strategies
+    with data-dependent coordinate selection.
     """
     if mode not in PRIVACY_MODES or mode == "off":
         raise ValueError(
@@ -309,7 +403,15 @@ def build_private_strategy(
         mode=mode,
         clip_norm=clip_norm,
         noise_multiplier=noise_multiplier or 0.0,
-        defense_fraction=defense_fraction,
+        defense_fraction=(
+            defense_fraction
+            if defense_fraction is not None
+            else DEFAULT_DEFENSE_FRACTION
+        ),
+        values_only=values_only,
         sample_rate=sample_rate,
         delta=delta,
+        # attribute the values-only warning to this function's caller,
+        # not to the construction line below
+        _warn_stacklevel=3,
     )

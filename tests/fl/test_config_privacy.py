@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.compression import FedAvgStrategy
+from repro.compression import FedAvgStrategy, STCStrategy
 from repro.datasets import femnist_like
 from repro.fl import RunConfig, UniformSampler
 
@@ -82,6 +82,17 @@ def test_gaussian_needs_a_budget_or_multiplier(dataset):
          privacy_clip_norm=1.0).validate()
 
 
+def test_gaussian_rejects_budget_plus_explicit_multiplier(dataset):
+    # an explicit multiplier overrides calibration: a configured epsilon
+    # would be silently ignored (worst case z=0 — a non-private run
+    # carrying a stated budget)
+    for nm in (0.0, 1.0):
+        with pytest.raises(ValueError, match="exactly one"):
+            make(dataset, privacy_mode="gaussian", privacy_epsilon=8.0,
+                 privacy_noise_multiplier=nm,
+                 privacy_clip_norm=1.0).validate()
+
+
 def test_gaussian_noise_needs_clip_norm(dataset):
     # clip_norm defaults to None: gaussian noise must set it explicitly
     with pytest.raises(ValueError, match="clip"):
@@ -105,6 +116,45 @@ def test_random_defense_rejects_gaussian_knobs(dataset):
              privacy_epsilon=8.0).validate()
 
 
-def test_off_mode_ignores_stale_knob_combinations(dataset):
-    # privacy off: epsilon/clip knobs may sit at any *valid* value
-    make(dataset, privacy_epsilon=8.0, privacy_clip_norm=2.0).validate()
+def test_off_mode_rejects_set_privacy_knobs(dataset):
+    # a user who sets a budget but forgets to flip the mode must not get
+    # a silently non-private run
+    for knobs in (
+        dict(privacy_epsilon=8.0),
+        dict(privacy_clip_norm=2.0),
+        dict(privacy_noise_multiplier=1.0),
+        dict(privacy_defense_fraction=0.3),
+        dict(privacy_epsilon=8.0, privacy_clip_norm=2.0),
+        dict(privacy_values_only=True),
+    ):
+        with pytest.raises(ValueError, match="privacy_mode='off'"):
+            make(dataset, **knobs).validate()
+
+
+def test_defense_fraction_rejected_under_gaussian(dataset):
+    with pytest.raises(ValueError, match="privacy_defense_fraction"):
+        make(dataset, privacy_mode="gaussian", privacy_noise_multiplier=1.0,
+             privacy_clip_norm=1.0, privacy_defense_fraction=0.3).validate()
+
+
+def test_values_only_requires_gaussian_mode(dataset):
+    with pytest.raises(ValueError, match="privacy_values_only"):
+        make(dataset, privacy_mode="random_defense",
+             privacy_values_only=True).validate()
+
+
+def test_gaussian_noise_over_client_chosen_indices_needs_waiver(dataset):
+    # STC's clients pick their own top-k: the index set is a
+    # data-dependent release the Gaussian mechanism does not cover
+    with pytest.raises(ValueError, match="index release"):
+        make(dataset, strategy=STCStrategy(q=0.2), privacy_mode="gaussian",
+             privacy_noise_multiplier=1.0, privacy_clip_norm=1.0).validate()
+    make(dataset, strategy=STCStrategy(q=0.2), privacy_mode="gaussian",
+         privacy_noise_multiplier=1.0, privacy_clip_norm=1.0,
+         privacy_values_only=True).validate()
+    # zero noise releases nothing beyond the plain strategy: no waiver
+    make(dataset, strategy=STCStrategy(q=0.2), privacy_mode="gaussian",
+         privacy_noise_multiplier=0.0).validate()
+    # dense strategies never need it
+    make(dataset, privacy_mode="gaussian", privacy_noise_multiplier=1.0,
+         privacy_clip_norm=1.0).validate()

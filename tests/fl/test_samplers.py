@@ -1,7 +1,7 @@
 import numpy as np
 import pytest
 
-from repro.fl.samplers import StickySampler, UniformSampler
+from repro.fl.samplers import PoissonSampler, StickySampler, UniformSampler
 
 
 def all_available(n):
@@ -54,6 +54,59 @@ def test_uniform_no_clients_available(rng):
     sampler.setup(20, rng)
     with pytest.raises(RuntimeError):
         sampler.draw(1, np.zeros(20, dtype=bool))
+
+
+# ---------------------------------------------------------------- poisson
+def test_poisson_draw_is_bernoulli_over_the_pool(rng):
+    sampler = PoissonSampler(10)
+    sampler.setup(100, rng)
+    draw = sampler.draw(1, all_available(100), overcommit=1.3)
+    assert draw.quota_sticky == 0 and len(draw.sticky) == 0
+    assert len(np.unique(draw.nonsticky)) == len(draw.nonsticky)
+    assert draw.quota_nonsticky == min(10, len(draw.nonsticky))
+    # size varies round to round — it is not a fixed-size draw
+    sizes = {
+        len(sampler.draw(r, all_available(100), overcommit=1.3).nonsticky)
+        for r in range(2, 30)
+    }
+    assert len(sizes) > 1
+
+
+def test_poisson_respects_availability(rng):
+    sampler = PoissonSampler(5)
+    sampler.setup(50, rng)
+    available = np.zeros(50, dtype=bool)
+    available[:10] = True
+    for r in range(10):
+        assert set(sampler.draw(r, available).nonsticky) <= set(range(10))
+
+
+def test_poisson_empirical_rate_matches_claim(rng):
+    sampler = PoissonSampler(10)
+    sampler.setup(100, rng)
+    rate = sampler.dp_sample_rate(100, 1.3)
+    counts = [
+        len(sampler.draw(r, all_available(100), overcommit=1.3).nonsticky)
+        for r in range(400)
+    ]
+    assert np.mean(counts) == pytest.approx(100 * rate, rel=0.1)
+
+
+def test_poisson_can_draw_empty_but_not_from_empty_pool(rng):
+    sampler = PoissonSampler(1)
+    sampler.setup(100, rng)
+    available = np.zeros(100, dtype=bool)
+    available[0] = True  # rate 0.01 over one client: usually empty
+    sizes = [len(sampler.draw(r, available).nonsticky) for r in range(50)]
+    assert 0 in sizes  # an empty round is a legitimate Poisson outcome
+    with pytest.raises(RuntimeError):
+        sampler.draw(1, np.zeros(100, dtype=bool))
+    with pytest.raises(ValueError):
+        sampler.draw(1, available, overcommit=0.9)
+
+
+def test_poisson_is_sync_only(rng):
+    assert PoissonSampler(5).supports_async is False
 
 
 # ---------------------------------------------------------------- sticky

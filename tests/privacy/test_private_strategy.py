@@ -38,6 +38,10 @@ class TestWrapperUnit:
         with pytest.raises(ValueError):
             PrivateStrategy(FedAvgStrategy(), mode="random_defense",
                             defense_fraction=1.0)
+        with pytest.raises(ValueError):
+            # the waiver qualifies gaussian epsilon; meaningless elsewhere
+            PrivateStrategy(FedAvgStrategy(), mode="random_defense",
+                            values_only=True)
 
     def test_name_tags_the_mode(self):
         assert PrivateStrategy(STCStrategy(q=0.2), clip_norm=1.0).name == "stc+dp"
@@ -53,7 +57,9 @@ class TestWrapperUnit:
 
     def test_noise_perturbs_only_transmitted_values(self):
         inner = STCStrategy(q=0.25)
-        strategy = self._ready(inner, clip_norm=10.0, noise_multiplier=0.1)
+        strategy = self._ready(
+            inner, clip_norm=10.0, noise_multiplier=0.1, values_only=True
+        )
         delta = np.arange(16, dtype=np.float64)
         payload = strategy.client_compress(0, delta, 1.0)
         clean = STCStrategy(q=0.25)
@@ -80,6 +86,36 @@ class TestWrapperUnit:
         kept = np.count_nonzero(payload.data["dense"])
         assert 0 < kept < 16
 
+    def test_gaussian_noise_rejects_client_chosen_indices_by_default(self):
+        """STC/GlueFL transmit a client-chosen index set — a
+        data-dependent release value noise cannot cover, so noising them
+        needs the explicit values-only waiver."""
+        for inner in (STCStrategy(q=0.2), GlueFLMaskStrategy(q=0.3, q_shr=0.2)):
+            with pytest.raises(ValueError, match="index release"):
+                PrivateStrategy(inner, clip_norm=1.0, noise_multiplier=1.0)
+        # the waiver downgrades the claim loudly instead of refusing
+        with pytest.warns(UserWarning, match="values only"):
+            PrivateStrategy(
+                STCStrategy(q=0.2), clip_norm=1.0, noise_multiplier=1.0,
+                values_only=True,
+            )
+        # ...and is reached through the quantization wrapper too
+        with pytest.raises(ValueError, match="index release"):
+            PrivateStrategy(
+                QuantizedStrategy(STCStrategy(q=0.2), bits=8),
+                clip_norm=1.0, noise_multiplier=1.0,
+            )
+
+    def test_data_independent_strategies_need_no_waiver(self):
+        import warnings as _warnings
+
+        from repro.compression import APFStrategy
+
+        for inner in (FedAvgStrategy(), APFStrategy()):
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("error")
+                PrivateStrategy(inner, clip_norm=1.0, noise_multiplier=1.0)
+
     def test_epsilon_steps_only_on_ended_rounds(self):
         strategy = self._ready(clip_norm=1.0, noise_multiplier=1.0)
         payload = strategy.client_compress(0, np.ones(16), 1.0)
@@ -100,14 +136,33 @@ class TestWrapperUnit:
             float(np.linalg.norm(payload.data["dense"]))
         )
         assert observed != pytest.approx(float(np.linalg.norm(delta)))
-        # unseen clients fall back to the raw norm
-        assert strategy.feedback_norm(99, delta) == pytest.approx(
+        # with noise active, unseen clients released nothing, so the only
+        # honest observable is the data-independent clip ceiling — never
+        # the raw norm the mechanism withholds
+        assert strategy.feedback_norm(99, delta) == pytest.approx(1.0)
+        # without noise the wrapper claims nothing and delegates raw
+        plain = self._ready(clip_norm=1.0)
+        assert plain.feedback_norm(99, delta) == pytest.approx(
             float(np.linalg.norm(delta))
         )
+
+    def test_begin_round_clears_observed_norms(self):
+        """A client queried in a round where it did not compress must not
+        get last round's stale noisy norm."""
+        strategy = self._ready(clip_norm=1.0, noise_multiplier=2.0)
+        delta = np.full(16, 3.0)
+        strategy.begin_round(1)
+        strategy.client_compress(7, delta, 1.0)
+        stale = strategy.feedback_norm(7, delta)
+        assert stale != pytest.approx(1.0)
+        strategy.begin_round(2)  # client 7 does not participate
+        assert strategy.feedback_norm(7, delta) == pytest.approx(1.0)
+        assert strategy.feedback_norm(7, delta) != pytest.approx(stale)
 
     def test_quantized_stack_forwards_privacy_hooks(self):
         private = PrivateStrategy(
             STCStrategy(q=0.5), clip_norm=1.0, noise_multiplier=1.0,
+            values_only=True,
         )
         stack = QuantizedStrategy(private, bits=8)
         stack.setup(16, np.random.default_rng(1))
@@ -192,6 +247,7 @@ class TestEngineIntegration:
         result = run_training(_config(
             dataset, privacy_mode="gaussian",
             privacy_noise_multiplier=1.0, privacy_clip_norm=1.0,
+            privacy_values_only=True,
         ))
         spend = [r.privacy_epsilon_spent for r in result.records]
         assert all(b > a for a, b in zip(spend, spend[1:]))
@@ -206,7 +262,7 @@ class TestEngineIntegration:
     def test_calibrated_run_lands_within_budget(self):
         result = run_training(_config(
             _dataset(), privacy_mode="gaussian", privacy_epsilon=6.0,
-            privacy_clip_norm=1.0,
+            privacy_clip_norm=1.0, privacy_values_only=True,
         ))
         spend = [r.privacy_epsilon_spent for r in result.records]
         assert 0 < spend[-1] <= 6.0
@@ -216,7 +272,7 @@ class TestEngineIntegration:
         plain = run_training(_config(dataset))
         private = run_training(_config(
             dataset, privacy_mode="gaussian", privacy_epsilon=6.0,
-            privacy_clip_norm=1.0,
+            privacy_clip_norm=1.0, privacy_values_only=True,
         ))
         assert [r.up_bytes for r in plain.records] == [
             r.up_bytes for r in private.records
@@ -227,7 +283,7 @@ class TestEngineIntegration:
         overrides = dict(
             scheduler=scheduler, privacy_mode="gaussian",
             privacy_epsilon=6.0, privacy_clip_norm=1.0,
-            skip_empty_rounds=True,
+            privacy_values_only=True, skip_empty_rounds=True,
         )
         if scheduler == "async":
             overrides["async_buffer_size"] = 3
@@ -235,6 +291,22 @@ class TestEngineIntegration:
         spend = [r.privacy_epsilon_spent for r in result.records]
         assert all(b >= a for a, b in zip(spend, spend[1:]))
         assert spend[-1] > 0
+
+    def test_poisson_sampler_amplifies_end_to_end(self):
+        """The one sampler whose draw is the accountant's analyzed scheme:
+        a run under it must spend strictly less than full-rate accounting."""
+        from repro.fl import PoissonSampler
+
+        result = run_training(_config(
+            _dataset(), sampler=PoissonSampler(5), strategy=FedAvgStrategy(),
+            skip_empty_rounds=True, privacy_mode="gaussian",
+            privacy_noise_multiplier=1.0, privacy_clip_norm=1.0,
+        ))
+        spend = [r.privacy_epsilon_spent for r in result.records]
+        assert spend[-1] > 0
+        full_rate = RdpAccountant(1.0, sample_rate=1.0, delta=1e-5)
+        full_rate.step(len(result.records))
+        assert spend[-1] < full_rate.epsilon()
 
     def test_random_defense_runs_and_reports_no_epsilon(self):
         result = run_training(_config(
@@ -264,7 +336,8 @@ class TestEngineIntegration:
         config = _config(
             _dataset(),
             strategy=SpyPrivate(
-                STCStrategy(q=0.2), clip_norm=0.5, noise_multiplier=1.0
+                STCStrategy(q=0.2), clip_norm=0.5, noise_multiplier=1.0,
+                values_only=True,
             ),
             sampler=RecordingOCS(5),
         )
@@ -286,7 +359,9 @@ class TestAccountingHonesty:
         from repro.compression.error_comp import ErrorCompMode
 
         inner = STCStrategy(q=0.5)
-        strategy = PrivateStrategy(inner, clip_norm=1.0, noise_multiplier=1.0)
+        strategy = PrivateStrategy(
+            inner, clip_norm=1.0, noise_multiplier=1.0, values_only=True
+        )
         strategy.setup(16, np.random.default_rng(0))
         assert inner.residuals.mode is ErrorCompMode.NONE
         # two rounds for the same client: nothing accumulates
@@ -301,50 +376,80 @@ class TestAccountingHonesty:
         strategy.setup(16, np.random.default_rng(0))
         assert inner.residuals.mode is ErrorCompMode.EC
 
+    def test_random_defense_disables_error_compensation(self):
+        """Error feedback would re-upload the randomly masked coordinates
+        in later rounds, re-leaking what the defense withheld."""
+        from repro.compression.error_comp import ErrorCompMode
+
+        inner = STCStrategy(q=0.5)
+        strategy = PrivateStrategy(
+            inner, mode="random_defense", defense_fraction=0.5
+        )
+        strategy.setup(16, np.random.default_rng(0))
+        assert inner.residuals.mode is ErrorCompMode.NONE
+        strategy.client_compress(0, np.arange(16.0), 1.0)
+        assert len(inner.residuals) == 0
+        # a zero-fraction defense masks nothing, so EC may stay on
+        inner2 = STCStrategy(q=0.5)
+        noop = PrivateStrategy(
+            inner2, mode="random_defense", defense_fraction=0.0
+        )
+        noop.setup(16, np.random.default_rng(0))
+        assert inner2.residuals.mode is ErrorCompMode.EC
+
     def test_ec_disabled_through_wrapper_chain(self):
         from repro.compression.error_comp import ErrorCompMode
 
         gluefl = GlueFLMaskStrategy(q=0.3, q_shr=0.2)
         stack = PrivateStrategy(
             QuantizedStrategy(gluefl, bits=8),
-            clip_norm=1.0, noise_multiplier=1.0,
+            clip_norm=1.0, noise_multiplier=1.0, values_only=True,
         )
         stack.setup(32, np.random.default_rng(0))
         assert gluefl.residuals.mode is ErrorCompMode.NONE
 
-    def test_uniform_sampler_claims_amplification(self):
-        from repro.fl import UniformSampler
+    def test_no_builtin_fixed_size_sampler_claims_amplification(self):
+        """The Mironov bound is a Poisson-subsampling bound; fixed-size
+        WOR draws (uniform included) must account at rate 1.0."""
+        from repro.fl import StickySampler, UniformSampler
 
-        sampler = UniformSampler(5)
-        assert sampler.dp_sample_rate(40, 1.3) == pytest.approx(
-            1.3 * 5 / 40
-        )
-        assert sampler.dp_sample_rate(4, 1.3) == 1.0  # capped
-
-    def test_sticky_and_norm_aware_samplers_do_not(self):
-        from repro.fl import StickySampler
-
+        assert UniformSampler(5).dp_sample_rate(40, 1.3) == 1.0
         sticky = StickySampler(5, group_size=20, sticky_count=4)
         assert sticky.dp_sample_rate(40, 1.3) == 1.0
         assert OptimalClientSampler(5).dp_sample_rate(40, 1.3) == 1.0
 
+    def test_poisson_sampler_claims_the_genuine_rate(self):
+        from repro.fl import PoissonSampler
+
+        sampler = PoissonSampler(5)
+        assert sampler.dp_sample_rate(40, 1.3) == pytest.approx(1.3 * 5 / 40)
+        assert sampler.dp_sample_rate(4, 1.3) == 1.0  # capped
+
     def test_server_uses_sampler_rate_sync_and_full_rate_async(self):
-        from repro.fl import UniformSampler
+        from repro.fl import PoissonSampler, UniformSampler
 
         dataset = _dataset()
         sync_server = FLServer(_config(
-            dataset, sampler=UniformSampler(5), strategy=STCStrategy(q=0.2),
+            dataset, sampler=PoissonSampler(5), strategy=STCStrategy(q=0.2),
             privacy_mode="gaussian", privacy_noise_multiplier=1.0,
-            privacy_clip_norm=1.0,
+            privacy_clip_norm=1.0, privacy_values_only=True,
         ))
         assert sync_server.strategy.sample_rate == pytest.approx(
             min(1.0, 1.3 * 5 / dataset.num_clients)
         )
         sync_server.close()
+
+        # a sampler claiming a sub-1 rate is still forced to 1.0 under
+        # the async scheduler (continuous dispatch is not a round sample)
+        class AsyncCapable(UniformSampler):
+            def dp_sample_rate(self, num_clients, overcommit):
+                return 0.1
+
         async_server = FLServer(_config(
-            dataset, sampler=UniformSampler(5), strategy=STCStrategy(q=0.2),
+            dataset, sampler=AsyncCapable(5), strategy=STCStrategy(q=0.2),
             scheduler="async", privacy_mode="gaussian",
             privacy_noise_multiplier=1.0, privacy_clip_norm=1.0,
+            privacy_values_only=True,
         ))
         assert async_server.strategy.sample_rate == 1.0
         async_server.close()
@@ -360,6 +465,7 @@ class TestAccountingHonesty:
             _dataset(), strategy=QuantizedStrategy(gluefl, bits=8),
             sampler=sampler, privacy_mode="gaussian",
             privacy_epsilon=6.0, privacy_clip_norm=1.0,
+            privacy_values_only=True,
         ))
         assert isinstance(server.strategy, QuantizedStrategy)
         assert isinstance(server.strategy.inner, PrivateStrategy)
@@ -372,7 +478,9 @@ class TestAccountingHonesty:
 class TestGlueFLRegenUnderPrivacy:
     def test_mask_regen_schedule_survives_the_wrapper(self):
         inner = GlueFLMaskStrategy(q=0.3, q_shr=0.2, regen_interval=3)
-        strategy = PrivateStrategy(inner, clip_norm=1.0, noise_multiplier=0.5)
+        strategy = PrivateStrategy(
+            inner, clip_norm=1.0, noise_multiplier=0.5, values_only=True
+        )
         strategy.setup(32, np.random.default_rng(0))
         rng = np.random.default_rng(4)
         for round_idx in range(1, 7):
