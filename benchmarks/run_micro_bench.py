@@ -165,6 +165,15 @@ def main() -> None:
                 "async_buffer_size": 5,
             },
         ),
+        # tiered semi-async scheduler (sync fast tier + straggler fold-in)
+        (
+            "semiasync_serial_float32",
+            {
+                "execution_backend": "serial",
+                "dtype": "float32",
+                "scheduler": "semiasync",
+            },
+        ),
     ]
     for label, extra in combos:
         samples = [

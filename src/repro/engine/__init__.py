@@ -1,12 +1,17 @@
-"""Phase-based round engine with pluggable scheduling.
+"""Phase-based round engine with pluggable scheduling on a simulated clock.
 
 The :class:`RoundEngine` composes seven :class:`~repro.engine.phases.Phase`
 objects — each owning one slice of the synchronous GlueFL round — with
 before/after hooks; :mod:`~repro.engine.schedulers` turns the engine into
 runnable round shapes: sync (Algorithm 1), async/buffered (FedBuff-style),
-and failure-injection.  ``FLServer`` is the state-holder these operate on.
+failure-injection, semi-async tiered rounds (FLASH-style), and overlapped
+sync rounds.  All of them share the simulated-time core
+(:class:`~repro.engine.clock.SimClock`), so every round record carries
+comparable cumulative ``wall_clock_s``.  ``FLServer`` is the state-holder
+these operate on.
 """
 
+from repro.engine.clock import SimClock
 from repro.engine.context import RoundContext
 from repro.engine.engine import RoundEngine, RoundHook
 from repro.engine.phases import (
@@ -18,18 +23,22 @@ from repro.engine.phases import (
     SamplingPhase,
     SyncAccountingPhase,
     TimingSelectionPhase,
+    candidate_timings,
     default_phases,
 )
 from repro.engine.schedulers import (
     SCHEDULERS,
     AsyncBufferedScheduler,
     FailureInjectionScheduler,
+    OverlappedSyncScheduler,
     Scheduler,
+    SemiAsyncScheduler,
     SyncScheduler,
     create_scheduler,
 )
 
 __all__ = [
+    "SimClock",
     "RoundContext",
     "RoundEngine",
     "RoundHook",
@@ -41,11 +50,14 @@ __all__ = [
     "CompressionPhase",
     "AggregationPhase",
     "MeasurementPhase",
+    "candidate_timings",
     "default_phases",
     "Scheduler",
     "SyncScheduler",
     "AsyncBufferedScheduler",
     "FailureInjectionScheduler",
+    "SemiAsyncScheduler",
+    "OverlappedSyncScheduler",
     "SCHEDULERS",
     "create_scheduler",
 ]

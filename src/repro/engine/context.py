@@ -32,6 +32,13 @@ class RoundContext:
 
     round_idx: int
 
+    #: the scheduler's :class:`~repro.engine.clock.SimClock`.  When set, the
+    #: measurement phase advances it by the round's duration and stamps the
+    #: record's ``wall_clock_s``; schedulers that own a non-linear clock
+    #: model (e.g. overlapped rounds) leave it ``None`` and advance the
+    #: clock themselves.
+    clock: Any = None
+
     # -- sampling phase --------------------------------------------------------
     available: Optional[np.ndarray] = None
     draw: Any = None

@@ -37,8 +37,10 @@ __all__ = [
     "AggregationPhase",
     "MeasurementPhase",
     "default_phases",
+    "candidate_timings",
     "downstream_sync_bytes",
     "nominal_upstream_bytes",
+    "sync_detail_rows",
     "feed_update_norms",
     "compress_results",
     "apply_aggregate",
@@ -70,6 +72,39 @@ def nominal_upstream_bytes(server) -> int:
     if server.config.count_buffer_sync and server.view.num_buffer:
         up += dense_bytes(server.view.num_buffer)
     return up
+
+
+def sync_detail_rows(server, candidates: np.ndarray, sync_bytes: np.ndarray):
+    """The ``RoundRecord.sync_details`` rows: ``(client_id, gap_rounds,
+    sync_bytes)`` per candidate (gap −1 = first contact).  Shared by the
+    sync accounting phase and the tiered scheduler so the tuple format
+    cannot drift between them."""
+    gaps = server.staleness.sync_gaps(candidates)
+    return list(
+        zip(candidates.tolist(), gaps.tolist(), sync_bytes.tolist())
+    )
+
+
+def candidate_timings(
+    server, client_ids: np.ndarray, down_bytes: np.ndarray, up_nominal: int
+) -> CandidateTimings:
+    """Per-candidate download/compute/upload legs from the substrate models.
+
+    The one place the latency model is assembled — the timing phase, the
+    async dispatcher, and the tiered schedulers all price candidates
+    through this helper (every client uploads the a-priori ``up_nominal``
+    bytes; actual payload sizes are only known after compression).
+    """
+    return CandidateTimings(
+        client_ids=client_ids,
+        download_s=server.links.download_seconds_many(client_ids, down_bytes),
+        compute_s=server.compute.round_seconds_many(
+            client_ids, server.config.local_steps, server.model_scale
+        ),
+        upload_s=server.links.upload_seconds_many(
+            client_ids, np.full(len(client_ids), up_nominal)
+        ),
+    )
 
 
 def feed_update_norms(server, results) -> None:
@@ -197,10 +232,7 @@ class SyncAccountingPhase(Phase):
         )
         if cfg.collect_sync_details:
             # one model update is applied per round, so version == round gap
-            gaps = server.staleness.sync_gaps(candidates)
-            ctx.sync_details = list(
-                zip(candidates.tolist(), gaps.tolist(), sync_bytes.tolist())
-            )
+            ctx.sync_details = sync_detail_rows(server, candidates, sync_bytes)
         server.staleness.mark_synced(candidates)
 
 
@@ -217,30 +249,22 @@ class TimingSelectionPhase(Phase):
     name = "timing"
 
     def run(self, server, ctx: RoundContext) -> None:
-        cfg = server.config
-        draw = ctx.draw
         up_nominal = ctx.up_nominal = nominal_upstream_bytes(server)
 
         def timings_for(ids: np.ndarray, down: np.ndarray) -> CandidateTimings:
-            compute_s = server.compute.round_seconds_many(
-                ids, cfg.local_steps, server.model_scale
-            )
+            timings = candidate_timings(server, ids, down, up_nominal)
             if ctx.straggler_fraction > 0.0:
                 storm = server.availability.straggler_mask(
                     ids, ctx.straggler_fraction
                 )
-                compute_s = np.where(
-                    storm, compute_s * ctx.straggler_slowdown, compute_s
+                timings.compute_s = np.where(
+                    storm,
+                    timings.compute_s * ctx.straggler_slowdown,
+                    timings.compute_s,
                 )
-            return CandidateTimings(
-                client_ids=ids,
-                download_s=server.links.download_seconds_many(ids, down),
-                compute_s=compute_s,
-                upload_s=server.links.upload_seconds_many(
-                    ids, np.full(len(ids), up_nominal)
-                ),
-            )
+            return timings
 
+        draw = ctx.draw
         n_sticky = len(draw.sticky)
         sticky_t = timings_for(draw.sticky, ctx.down_per_client[:n_sticky])
         nonsticky_t = timings_for(draw.nonsticky, ctx.down_per_client[n_sticky:])
@@ -365,6 +389,11 @@ class MeasurementPhase(Phase):
             injected_failure=ctx.injected_failure,
             privacy_epsilon_spent=server.strategy.privacy_epsilon_spent(),
         )
+        if ctx.clock is not None:
+            # replay the round's duration through the scheduler's clock so
+            # every record carries comparable cumulative simulated time
+            ctx.clock.advance_by(ctx.record.round_seconds)
+            ctx.record.wall_clock_s = ctx.clock.now
 
 
 def default_phases() -> List[Phase]:

@@ -1,10 +1,19 @@
-"""Pluggable round schedulers: sync, async/buffered, failure-injection.
+"""Pluggable round schedulers: sync, async/buffered, failure-injection,
+tiered semi-async, and overlapped sync rounds.
+
+Every scheduler runs on the shared simulated-time core
+(:class:`~repro.engine.clock.SimClock`): the clock owns cumulative
+simulated time and the completion-event queue, and every
+:class:`~repro.fl.metrics.RoundRecord` carries the clock's reading as
+``wall_clock_s`` — monotone under every round shape, so time-to-accuracy
+is comparable across schedulers.
 
 A scheduler decides what one call to ``FLServer.run_round`` means:
 
 ``sync``
     One Algorithm 1 round through the default phase pipeline — bit-identical
     to the pre-refactor monolithic loop (pinned by the engine golden test).
+    The measurement phase replays the round's duration through the clock.
 
 ``async``
     FedBuff-style buffered asynchrony (Nguyen et al., 2022).  Clients train
@@ -12,12 +21,13 @@ A scheduler decides what one call to ``FLServer.run_round`` means:
     flight, each training from the global state *at its dispatch time*.
     Finish events (download + compute + upload, via the existing
     :class:`~repro.fl.simulator.CandidateTimings` latency model) are popped
-    from an event queue; every ``async_buffer_size`` arrivals the server
-    aggregates the buffer with staleness-discounted weights
+    from the clock's event queue; every ``async_buffer_size`` arrivals the
+    server aggregates the buffer with staleness-discounted weights
     ``(1 + τ)^(−async_staleness_alpha)`` (normalized), where τ counts global
     updates applied since the client's dispatch.  One ``run_round`` call ==
     one buffer flush == one :class:`~repro.fl.metrics.RoundRecord`, whose
-    ``mean_update_staleness`` reports the buffer's mean τ.  Sticky-group
+    ``mean_update_staleness`` reports the buffer's mean τ and whose
+    ``wall_clock_s`` reports the event queue's current time.  Sticky-group
     rebalancing and inverse-propensity weighting are sync-only concepts and
     are not applied here; replacement dispatch goes through the sampler's
     own ``sample_replacements`` policy (uniform over the online pool by
@@ -40,28 +50,65 @@ A scheduler decides what one call to ``FLServer.run_round`` means:
     ``RoundRecord.injected_failure``; pair with
     ``RunConfig.skip_empty_rounds`` so a burst that wipes out every
     candidate records a zero-participant round instead of aborting.
+
+``semiasync``
+    FLASH-style tiered rounds.  The round samples and prices candidates
+    exactly like ``sync``; the **fast tier** (the first-K-per-bucket
+    selection) aggregates synchronously at the round's deadline with the
+    sampler's own unbiasedness weights.  The over-committed stragglers —
+    candidates whose uploads would land *after* the deadline and are
+    simply discarded under ``sync`` — keep training: their finish events
+    go onto the clock, and when a later round's deadline passes an event,
+    that stale update folds into that round's aggregation with the
+    discounted weight ``(1 + τ)^(−async_staleness_alpha) / K`` (τ = rounds
+    since dispatch; the ``1/K`` unit matches one fast-tier share).
+    Arrivals staler than ``semiasync_max_lag`` rounds are discarded.
+    Clients with an in-flight straggler task are *busy* — excluded from
+    the sampler pool until their arrival folds in, so no round ever
+    aggregates two updates from one client.  Candidates are priced
+    through the same downstream accounting as ``sync``; straggler upload
+    bytes land in the record of their *arrival* round.  Stale
+    deltas are compressed under the strategy state of the arrival round —
+    under GlueFL's shifting shared mask this is exactly the mask-drift
+    regime ``benchmarks/bench_sticky_staleness.py`` studies.
+
+``overlapped``
+    Pipelined sync rounds: identical learning dynamics to ``sync`` (same
+    RNG streams, same updates, bit-identical records apart from the clock
+    fields) under an overlapped communication model — round *t+1*'s
+    downloads start when round *t*'s uploads start, so the downlink leg
+    hides behind the previous uplink leg.  The pipeline runs on the
+    *critical participant's* legs (``ParticipantSelection.critical_*_s``,
+    which sum exactly to the sync round time): with aggregation of round
+    *t−1* done at ``A``, round *t* finishes at
+    ``max(A, dl_start + D) + C + U`` where ``dl_start`` is round *t−1*'s
+    upload start.  Per-round advance is never larger than the sync round
+    time (savings up to ``min(D_t, U_{t−1})``); ``round_seconds`` reports
+    the advance so cumulative time matches ``wall_clock_s``.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.engine.clock import SimClock
 from repro.engine.context import RoundContext
 from repro.engine.engine import RoundEngine
 from repro.engine.phases import (
     apply_aggregate,
+    candidate_timings,
     compress_results,
     downstream_sync_bytes,
     nominal_upstream_bytes,
     scheduled_accuracy,
+    sync_detail_rows,
 )
 from repro.fl.aggregation import staleness_discounted_weights
 from repro.fl.metrics import RoundRecord
-from repro.fl.simulator import CandidateTimings
+from repro.fl.simulator import select_participants
 from repro.runtime.backends import ClientTask
 
 __all__ = [
@@ -70,16 +117,33 @@ __all__ = [
     "SyncScheduler",
     "AsyncBufferedScheduler",
     "FailureInjectionScheduler",
+    "SemiAsyncScheduler",
+    "OverlappedSyncScheduler",
     "create_scheduler",
 ]
 
-SCHEDULERS = ("sync", "async", "failure")
+SCHEDULERS = ("sync", "async", "failure", "semiasync", "overlapped")
+
+
+def _nan_safe_mean(values) -> Optional[float]:
+    """Mean of a possibly-empty/None collection — ``None`` instead of NaN."""
+    if values is None or len(values) == 0:
+        return None
+    return float(np.mean(values))
 
 
 class Scheduler:
-    """Base interface: one ``run_round`` call advances the run by one record."""
+    """Base interface: one ``run_round`` call advances the run by one record.
+
+    Every scheduler owns a :class:`~repro.engine.clock.SimClock`; *how* it
+    advances is the scheduler's clock model, but ``clock.now`` is always
+    the run's cumulative simulated time.
+    """
 
     name: str = "base"
+
+    def __init__(self) -> None:
+        self.clock = SimClock()
 
     def setup(self, server) -> None:
         """Bind scheduler state to a server (called once from ``FLServer``)."""
@@ -94,11 +158,12 @@ class SyncScheduler(Scheduler):
     name = "sync"
 
     def __init__(self, engine: Optional[RoundEngine] = None):
+        super().__init__()
         self.engine = engine if engine is not None else RoundEngine()
 
     def run_round(self, server) -> RoundRecord:
         server.round_idx += 1
-        ctx = RoundContext(round_idx=server.round_idx)
+        ctx = RoundContext(round_idx=server.round_idx, clock=self.clock)
         return self.engine.run_round(server, ctx)
 
 
@@ -120,6 +185,45 @@ class FailureInjectionScheduler(SyncScheduler):
             ctx.straggler_fraction = cfg.failure_straggler_fraction
             ctx.straggler_slowdown = cfg.failure_straggler_slowdown
             ctx.injected_failure = True
+
+
+class OverlappedSyncScheduler(SyncScheduler):
+    """Sync learning dynamics under a pipelined communication clock.
+
+    Runs the identical phase pipeline (same RNG consumption, same model
+    updates as ``sync``) but advances the clock with the overlapped-round
+    recurrence documented in the module docstring, overwriting the
+    record's ``round_seconds`` with the pipelined advance.
+    """
+
+    name = "overlapped"
+
+    def __init__(self, engine: Optional[RoundEngine] = None):
+        super().__init__(engine)
+        self._prev_upload_start: Optional[float] = None
+
+    def run_round(self, server) -> RoundRecord:
+        server.round_idx += 1
+        # clock stays out of the context: this scheduler owns the advance
+        ctx = RoundContext(round_idx=server.round_idx)
+        record = self.engine.run_round(server, ctx)
+        sel = ctx.selection
+        agg_ready = self.clock.now  # previous round's aggregation time
+        dl_start = (
+            self._prev_upload_start
+            if self._prev_upload_start is not None
+            else agg_ready
+        )
+        dl_done = dl_start + sel.critical_download_s
+        # compute needs both the prefetched payload and the fresh update
+        compute_start = max(dl_done, agg_ready)
+        upload_start = compute_start + sel.critical_compute_s
+        done = upload_start + sel.critical_upload_s
+        self._prev_upload_start = upload_start
+        record.round_seconds = done - agg_ready
+        self.clock.advance_to(done)
+        record.wall_clock_s = self.clock.now
+        return record
 
 
 @dataclass
@@ -144,10 +248,8 @@ class AsyncBufferedScheduler(Scheduler):
     name = "async"
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, int]] = []  # (finish, seq, cid)
+        super().__init__()
         self._in_flight: Dict[int, _InFlightJob] = {}
-        self._seq = 0
-        self._now = 0.0
         self._last_flush = 0.0
         self._round_closed = False
         # accounting accumulated between flushes
@@ -167,7 +269,6 @@ class AsyncBufferedScheduler(Scheduler):
         want = self.concurrency - len(self._in_flight)
         if want <= 0:
             return
-        cfg = server.config
         available = server.availability.online(round_idx)
         exclude = np.fromiter(
             self._in_flight.keys(), dtype=np.int64, count=len(self._in_flight)
@@ -184,19 +285,10 @@ class AsyncBufferedScheduler(Scheduler):
         )
         server.staleness.mark_synced(new)
 
-        up_nominal = nominal_upstream_bytes(server)
-        timings = CandidateTimings(
-            client_ids=new,
-            download_s=server.links.download_seconds_many(new, down),
-            compute_s=server.compute.round_seconds_many(
-                new, cfg.local_steps, server.model_scale
-            ),
-            upload_s=server.links.upload_seconds_many(
-                new, np.full(len(new), up_nominal)
-            ),
+        timings = candidate_timings(
+            server, new, down, nominal_upstream_bytes(server)
         )
         lr = server.lr_schedule.at_round(round_idx - 1)
-        finish = self._now + timings.finish_s
         for i, cid in enumerate(new):
             cid = int(cid)
             self._in_flight[cid] = _InFlightJob(
@@ -209,8 +301,7 @@ class AsyncBufferedScheduler(Scheduler):
                 compute_s=float(timings.compute_s[i]),
                 upload_s=float(timings.upload_s[i]),
             )
-            heapq.heappush(self._heap, (float(finish[i]), self._seq, cid))
-            self._seq += 1
+        self.clock.schedule_timings(timings)  # finish events, payload = cid
 
     # -- event-queue draining ----------------------------------------------------
     def _pop_batch(self, server, limit: int) -> List[_InFlightJob]:
@@ -226,15 +317,14 @@ class AsyncBufferedScheduler(Scheduler):
         jobs: List[_InFlightJob] = []
         first_finish: Optional[float] = None
         version: Optional[int] = None
-        while self._heap and len(jobs) < limit:
-            finish, _, cid = self._heap[0]
+        while len(self.clock) and len(jobs) < limit:
+            finish, cid = self.clock.peek()
             job = self._in_flight[cid]
             if first_finish is None:
                 first_finish, version = finish, job.start_version
             elif finish != first_finish or job.start_version != version:
                 break
-            heapq.heappop(self._heap)
-            self._now = max(self._now, finish)
+            self.clock.pop()
             del self._in_flight[cid]
             if bool(server.availability.survives_round(np.array([cid]))[0]):
                 jobs.append(job)
@@ -262,7 +352,7 @@ class AsyncBufferedScheduler(Scheduler):
         self._dispatch(server, t)
 
         arrivals: List[Tuple[_InFlightJob, object]] = []
-        while len(arrivals) < self.buffer_size and self._heap:
+        while len(arrivals) < self.buffer_size and len(self.clock):
             batch = self._pop_batch(server, self.buffer_size - len(arrivals))
             if not batch:
                 self._dispatch(server, t)  # lost mid-round; refill and move on
@@ -305,11 +395,12 @@ class AsyncBufferedScheduler(Scheduler):
         self, server, t, arrivals, taus, losses, up_bytes_total: int = 0
     ) -> RoundRecord:
         accuracy = scheduled_accuracy(server, t, self._pending_down)
+        now = self.clock.now
         record = RoundRecord(
             round_idx=t,
             down_bytes=self._pending_down,
             up_bytes=up_bytes_total,
-            round_seconds=self._now - self._last_flush,
+            round_seconds=now - self._last_flush,
             download_seconds=max(
                 (job.download_s for job, _ in arrivals), default=0.0
             ),
@@ -326,26 +417,212 @@ class AsyncBufferedScheduler(Scheduler):
                 if self._pending_stale_fracs
                 else 0.0
             ),
-            train_loss=float(np.mean(losses)) if losses else 0.0,
+            train_loss=_nan_safe_mean(losses) or 0.0,
             accuracy=accuracy,
-            mean_update_staleness=(
-                float(np.mean(taus)) if taus is not None and len(taus) else None
-            ),
+            wall_clock_s=now,
+            mean_update_staleness=_nan_safe_mean(taus),
             privacy_epsilon_spent=server.strategy.privacy_epsilon_spent(),
         )
         self._pending_down = 0
         self._pending_candidates = 0
         self._pending_stale_fracs = []
-        self._last_flush = self._now
+        self._last_flush = now
         return record
+
+
+@dataclass
+class _StaleArrival:
+    """A straggler's finished update, waiting on the clock to fold in."""
+
+    client_id: int
+    dispatch_round: int
+    result: object  # ClientResult trained from the dispatch-round snapshot
+
+
+class SemiAsyncScheduler(Scheduler):
+    """FLASH-style tiered rounds: sync fast tier + async straggler fold-in.
+
+    See the module docstring for the full semantics.  The record stream is
+    pinned by ``tests/engine/golden_semiasync.json``.
+    """
+
+    name = "semiasync"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._round_closed = False
+        #: clients with a scheduled, not-yet-folded straggler arrival —
+        #: they are still computing, so the sampler must not re-draw them
+        #: (a client contributing twice to one aggregation is a state no
+        #: real device can be in; mirrors the async dispatcher's exclude)
+        self._busy: set = set()
+
+    def setup(self, server) -> None:
+        cfg = server.config
+        self.alpha = cfg.async_staleness_alpha
+        self.max_lag = cfg.semiasync_max_lag
+
+    def run_round(self, server) -> RoundRecord:
+        server.round_idx += 1
+        t = server.round_idx
+        server.strategy.begin_round(t)
+        self._round_closed = False
+        try:
+            return self._run(server, t)
+        except Exception:
+            if not self._round_closed:
+                server.strategy.abort_round(t)
+            raise
+
+    def _run(self, server, t: int) -> RoundRecord:
+        cfg = server.config
+
+        # --- sampling + downstream accounting, through the same shared
+        # slices the sync phases use (downstream_sync_bytes,
+        # sync_detail_rows, candidate_timings, select_participants) —
+        # minus the clients still busy with an in-flight straggler task
+        available = server.availability.online(t)
+        if self._busy:
+            available = available.copy()
+            available[np.fromiter(self._busy, dtype=np.int64)] = False
+        draw = server.sampler.draw(t, available, cfg.overcommit)
+        candidates = draw.candidates
+        sync_bytes, down_per_client = downstream_sync_bytes(server, candidates)
+        down_total = int(down_per_client.sum())
+        mean_stale = server.staleness.mean_staleness_fraction(candidates)
+        sync_details = (
+            sync_detail_rows(server, candidates, sync_bytes)
+            if cfg.collect_sync_details
+            else None
+        )
+        server.staleness.mark_synced(candidates)
+
+        # --- timing + fast-tier selection
+        up_nominal = nominal_upstream_bytes(server)
+        n_sticky = len(draw.sticky)
+        sticky_t = candidate_timings(
+            server, draw.sticky, down_per_client[:n_sticky], up_nominal
+        )
+        nonsticky_t = candidate_timings(
+            server, draw.nonsticky, down_per_client[n_sticky:], up_nominal
+        )
+        sticky_survives = server.availability.survives_round(draw.sticky)
+        nonsticky_survives = server.availability.survives_round(draw.nonsticky)
+        selection = select_participants(
+            sticky_t,
+            nonsticky_t,
+            draw.quota_sticky,
+            draw.quota_nonsticky,
+            sticky_survives,
+            nonsticky_survives,
+        )
+
+        # --- stragglers: surviving candidates the deadline leaves behind
+        fast_ids = selection.participant_ids
+        fast_set = {int(cid) for cid in fast_ids}
+        stragglers: List[Tuple[int, float]] = []  # (client_id, finish_s)
+        for timings, survives in (
+            (sticky_t, sticky_survives),
+            (nonsticky_t, nonsticky_survives),
+        ):
+            finish = timings.finish_s
+            for row in np.flatnonzero(survives):
+                cid = int(timings.client_ids[row])
+                if cid not in fast_set:
+                    stragglers.append((cid, float(finish[row])))
+
+        # --- execution: fast tier + stragglers share one backend batch
+        # (per-client RNG streams are order-independent by construction)
+        lr = server.lr_schedule.at_round(t - 1)
+        tasks = [
+            ClientTask(client_id=int(cid), lr=lr, round_idx=t)
+            for cid in fast_ids
+        ] + [
+            ClientTask(client_id=cid, lr=lr, round_idx=t)
+            for cid, _ in stragglers
+        ]
+        results = server.backend.run_clients(
+            tasks, server.global_params, server.global_buffers
+        )
+        fast_results = results[: len(fast_ids)]
+        for (cid, finish_s), result in zip(stragglers, results[len(fast_ids):]):
+            self.clock.schedule(
+                self.clock.now + finish_s, _StaleArrival(cid, t, result)
+            )
+            self._busy.add(cid)
+
+        # --- the fast tier's deadline collects due straggler arrivals
+        deadline = self.clock.now + selection.round_seconds
+        due = [payload for _, payload in self.clock.pop_until(deadline)]
+        self.clock.advance_to(deadline)
+        for arrival in due:
+            self._busy.discard(arrival.client_id)
+        kept = [a for a in due if t - a.dispatch_round <= self.max_lag]
+
+        # --- weights: sampler correction for the fast tier, discounted
+        # 1/K shares for stale arrivals
+        nu_s, nu_r = server._weights_for(
+            selection.sticky_ids, selection.nonsticky_ids
+        )
+        taus = np.array([t - a.dispatch_round for a in kept], dtype=np.int64)
+        arrival_w = (1.0 + taus) ** (-self.alpha) / server.sampler.k
+        weights = np.concatenate([nu_s, nu_r, arrival_w])
+
+        all_results = list(fast_results) + [a.result for a in kept]
+        payloads, buffer_deltas, losses, up_bytes_total = compress_results(
+            server, all_results, weights
+        )
+        if not payloads:
+            server.strategy.abort_round(t)
+            self._round_closed = True
+            if not cfg.skip_empty_rounds:
+                raise RuntimeError(
+                    f"round {t}: no participants survived"
+                )
+        else:
+            agg = apply_aggregate(server, payloads, buffer_deltas)
+            server.sampler.complete_round(
+                selection.sticky_ids, selection.nonsticky_ids
+            )
+            server.strategy.end_round(agg, t)
+            self._round_closed = True
+
+        accuracy = scheduled_accuracy(server, t, down_total)
+        return RoundRecord(
+            round_idx=t,
+            down_bytes=down_total,
+            up_bytes=up_bytes_total,
+            round_seconds=selection.round_seconds,
+            download_seconds=selection.download_seconds,
+            compute_seconds=selection.compute_seconds,
+            upload_seconds=selection.upload_seconds,
+            num_candidates=len(candidates),
+            num_participants=len(payloads),
+            mean_stale_fraction=mean_stale,
+            train_loss=_nan_safe_mean(losses) or 0.0,
+            accuracy=accuracy,
+            sync_details=sync_details,
+            wall_clock_s=self.clock.now,
+            mean_update_staleness=_nan_safe_mean(taus),
+            privacy_epsilon_spent=server.strategy.privacy_epsilon_spent(),
+        )
+
+
+_SCHEDULER_TYPES = {
+    "sync": SyncScheduler,
+    "async": AsyncBufferedScheduler,
+    "failure": FailureInjectionScheduler,
+    "semiasync": SemiAsyncScheduler,
+    "overlapped": OverlappedSyncScheduler,
+}
+assert tuple(_SCHEDULER_TYPES) == SCHEDULERS
 
 
 def create_scheduler(name: str) -> Scheduler:
     """Build the scheduler selected by ``RunConfig.scheduler``."""
-    if name == "sync":
-        return SyncScheduler()
-    if name == "async":
-        return AsyncBufferedScheduler()
-    if name == "failure":
-        return FailureInjectionScheduler()
-    raise ValueError(f"unknown scheduler {name!r}; expected {SCHEDULERS}")
+    scheduler_type = _SCHEDULER_TYPES.get(name)
+    if scheduler_type is None:
+        raise ValueError(
+            f"unknown scheduler {name!r}; expected {SCHEDULERS}"
+        )
+    return scheduler_type()

@@ -92,6 +92,7 @@ def build_config(
         lr=scenario.lr,
         eval_every=scenario.eval_every,
         eval_top_k=scenario.eval_top_k,
+        scheduler=scenario.scheduler,
         seed=seed,
     )
     params.update(overrides)

@@ -46,6 +46,10 @@ class Scenario:
     eval_every: int = 5
     eval_top_k: int = 1
     regen_interval: int = 10
+    #: round shape the scenario runs under (any name in
+    #: ``repro.engine.schedulers.SCHEDULERS``); every record then carries
+    #: the scheduler clock's ``wall_clock_s`` for time-to-accuracy cuts
+    scheduler: str = "sync"
 
     def dataset(self, seed: int = 0) -> FederatedDataset:
         return self.dataset_fn(seed)
@@ -197,6 +201,22 @@ SCENARIOS.add(
         q_shr=0.16,
         lr=0.05,
         eval_every=4,
+    ),
+)
+
+# --- tiered rounds (benchmarks/bench_sticky_staleness.py) ----------------------------
+SCENARIOS.add(
+    "femnist-semiasync",
+    Scenario(
+        name="femnist-semiasync",
+        dataset_fn=_femnist(150, 36),
+        model_name="mlp",
+        model_kwargs={"hidden": (48,)},
+        k=10,
+        rounds=100,
+        q=0.20,
+        q_shr=0.16,
+        scheduler="semiasync",
     ),
 )
 

@@ -39,8 +39,16 @@ class RunConfig:
     * ``scheduler`` — the round shape: ``"sync"`` (default, Algorithm 1),
       ``"async"`` (FedBuff-style buffered asynchrony; one round == one
       buffer flush of ``async_buffer_size`` arrivals, weighted by
-      ``(1 + τ)^(−async_staleness_alpha)``), or ``"failure"`` (sync rounds
-      with periodic dropout bursts + straggler storms).
+      ``(1 + τ)^(−async_staleness_alpha)``), ``"failure"`` (sync rounds
+      with periodic dropout bursts + straggler storms), ``"semiasync"``
+      (FLASH-style tiered rounds: the fast tier aggregates synchronously
+      at its deadline, over-committed stragglers fold into later rounds
+      with staleness-discounted weights, capped at ``semiasync_max_lag``
+      rounds of lag), or ``"overlapped"`` (sync learning dynamics under a
+      pipelined clock: round *t+1*'s downloads overlap round *t*'s
+      uploads).  Every scheduler runs on the shared
+      :class:`~repro.engine.clock.SimClock` and stamps cumulative
+      simulated time into ``RoundRecord.wall_clock_s``.
     * ``skip_empty_rounds`` — survive rounds where nobody's update arrives
       by recording a zero-participant round instead of raising.
 
@@ -150,8 +158,11 @@ class RunConfig:
     async_buffer_size: int = 5
     #: async: clients kept in flight (default: the sampler's K)
     async_concurrency: Optional[int] = None
-    #: async: staleness-discount exponent α in ``(1 + τ)^(−α)``
+    #: async + semiasync: staleness-discount exponent α in ``(1 + τ)^(−α)``
     async_staleness_alpha: float = 0.5
+    #: semiasync: discard straggler arrivals staler than this many rounds
+    #: (0 keeps only same-round arrivals)
+    semiasync_max_lag: int = 10
     #: failure: inject a burst every Nth round (0 disables)
     failure_burst_every: int = 5
     #: failure: extra mid-round dropout probability during a burst
@@ -239,11 +250,17 @@ class RunConfig:
             raise ValueError(
                 f"unknown scheduler {self.scheduler!r}; expected {SCHEDULERS}"
             )
-        if self.scheduler == "async" and not self.sampler.supports_async:
+        if (
+            self.scheduler in ("async", "semiasync")
+            and not self.sampler.supports_async
+        ):
             raise ValueError(
-                f"sampler {type(self.sampler).__name__} acts through "
-                "per-round draw() calls, which the async scheduler never "
-                "makes; its policy would be silently ignored"
+                f"sampler {type(self.sampler).__name__} is a sync-only "
+                "policy (supports_async=False): the async scheduler never "
+                "makes the per-round draw() calls it acts through, and "
+                "semiasync folds stale updates across rounds, which its "
+                "per-round budget semantics do not account for — the "
+                "policy would silently misbehave"
             )
         # same bounds AvailabilityTrace enforces, surfaced before any model
         # or trace construction happens
@@ -257,6 +274,8 @@ class RunConfig:
             raise ValueError("async_concurrency must be positive")
         if self.async_staleness_alpha < 0:
             raise ValueError("async_staleness_alpha must be non-negative")
+        if self.semiasync_max_lag < 0:
+            raise ValueError("semiasync_max_lag must be >= 0")
         if self.failure_burst_every < 0:
             raise ValueError("failure_burst_every must be >= 0")
         if not 0.0 <= self.failure_burst_dropout <= 1.0:

@@ -395,10 +395,12 @@ class DynamicScheduleSampler(ClientSampler):
     sampler, whose weight correction stays unbiased at every budget
     because it is recomputed from the realized draw.
 
-    Sync/failure schedulers only: annealing acts through :meth:`draw`,
-    which the async scheduler never calls, so ``RunConfig.validate``
-    rejects the combination instead of silently running the inner
-    sampler unannealed (``supports_async = False``).
+    Sync-shaped schedulers only (sync/failure/overlapped): annealing acts
+    through :meth:`draw`, which the async scheduler never calls, and the
+    semiasync scheduler folds stale updates across rounds whose ``1/K``
+    share the annealed budget would distort — ``RunConfig.validate``
+    rejects both combinations instead of silently misbehaving
+    (``supports_async = False``).
     """
 
     supports_async = False

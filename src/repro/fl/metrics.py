@@ -42,6 +42,11 @@ class RoundRecord:
     mean_stale_fraction: float
     train_loss: float
     accuracy: Optional[float] = None
+    #: cumulative simulated wall-clock (seconds) at the end of this round,
+    #: read off the scheduler's :class:`~repro.engine.clock.SimClock` —
+    #: monotone across records under every scheduler, so time-to-accuracy
+    #: is comparable between sync, async, tiered, and overlapped rounds
+    wall_clock_s: Optional[float] = None
     #: optional per-candidate ``(client_id, gap_rounds, sync_bytes)`` detail
     #: (gap −1 = first contact); enabled by RunConfig.collect_sync_details
     sync_details: Optional[List[tuple]] = None
@@ -106,6 +111,26 @@ class RunResult:
 
     def cumulative_download_seconds(self) -> np.ndarray:
         return np.cumsum(self.series("download_seconds"))
+
+    def wall_clock_series(self) -> np.ndarray:
+        """Cumulative simulated time per record (clock-stamped schedulers);
+        falls back to the ``round_seconds`` cumsum for legacy records."""
+        stamps = [r.wall_clock_s for r in self.records]
+        if any(s is None for s in stamps):
+            return self.cumulative_seconds()
+        return np.array(stamps)
+
+    def time_to_target_s(
+        self, target: float, window: int = 5
+    ) -> Optional[float]:
+        """Simulated seconds until the smoothed accuracy reaches ``target``
+        (the paper's time-to-accuracy axis) — ``None`` if never reached."""
+        target_round = self.rounds_to_target(target, window)
+        if target_round is None:
+            return None
+        rounds = self.series("round_idx")
+        pos = int(np.searchsorted(rounds, target_round, side="right")) - 1
+        return float(self.wall_clock_series()[pos])
 
     def accuracy_points(self) -> List[tuple]:
         """``(round_idx, accuracy)`` at every evaluated round."""

@@ -10,10 +10,17 @@ by ``RunConfig.scheduler``:
   (sampling → sync accounting → timing/selection → execution → compression
   → aggregation → measurement) — a faithful, bit-identical decomposition of
   Algorithm 1's round (pinned by ``tests/engine/test_round_engine.py``);
-* ``"async"`` runs FedBuff-style buffered asynchrony over an event queue of
-  client finish times;
+* ``"async"`` runs FedBuff-style buffered asynchrony over the shared
+  simulated-time clock's event queue of client finish times;
 * ``"failure"`` replays the sync pipeline under injected dropout bursts and
-  straggler storms.
+  straggler storms;
+* ``"semiasync"`` runs FLASH-style tiered rounds (sync fast tier at its
+  deadline + staleness-discounted straggler fold-in);
+* ``"overlapped"`` replays the sync pipeline under a pipelined clock
+  (round *t+1* downloads overlap round *t* uploads).
+
+All five run on one :class:`~repro.engine.clock.SimClock` per scheduler,
+whose cumulative reading lands in ``RoundRecord.wall_clock_s``.
 
 Phases and scheduler hooks reach the state through this object (``server``
 in their signatures); anything per-round lives in the
@@ -166,7 +173,10 @@ class FLServer:
         from repro.compression.quantized import QuantizedStrategy
         from repro.privacy import build_private_strategy
 
-        if config.scheduler in ("sync", "failure"):
+        # overlapped has identical per-round sampling to sync (only the
+        # clock differs); semiasync folds stale arrivals across rounds and
+        # async never samples rounds at all, so both account at rate 1.0
+        if config.scheduler in ("sync", "failure", "overlapped"):
             sample_rate = config.sampler.dp_sample_rate(
                 self.n, config.overcommit
             )
@@ -256,6 +266,12 @@ class FLServer:
         round; async: one buffer flush) and return its record."""
         return self.scheduler.run_round(self)
 
+    @property
+    def sim_time_s(self) -> float:
+        """Cumulative simulated wall-clock, read off the scheduler's
+        :class:`~repro.engine.clock.SimClock`."""
+        return self.scheduler.clock.now
+
     # -- lifecycle ----------------------------------------------------------------------
     @property
     def backend(self):
@@ -318,6 +334,7 @@ class FLServer:
                     break
         finally:
             self.close()
+        result.meta["sim_time_s"] = self.sim_time_s
         return result
 
 

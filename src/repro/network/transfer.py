@@ -11,11 +11,20 @@ from repro.network.bandwidth import BandwidthSample
 __all__ = ["transfer_seconds", "ClientLinks"]
 
 
+def _transfer_seconds_many(
+    num_bytes: np.ndarray, mbps: np.ndarray
+) -> np.ndarray:
+    """Vectorized bytes ÷ rate — the one place the arithmetic lives."""
+    return np.asarray(num_bytes, dtype=np.float64) * 8.0 / (mbps * 1e6)
+
+
 def transfer_seconds(num_bytes: float, mbps: float) -> float:
     """Seconds to move ``num_bytes`` over a ``mbps`` link (no protocol overhead)."""
     if mbps <= 0:
         raise ValueError(f"bandwidth must be positive, got {mbps}")
-    return float(num_bytes) * 8.0 / (mbps * 1e6)
+    return float(
+        _transfer_seconds_many(np.array([num_bytes]), np.array([mbps]))[0]
+    )
 
 
 @dataclass
@@ -25,27 +34,33 @@ class ClientLinks:
     bandwidth: BandwidthSample
 
     def download_seconds(self, client_id: int, num_bytes: float) -> float:
-        return transfer_seconds(num_bytes, self.bandwidth.down_mbps[client_id])
+        """Scalar convenience over :meth:`download_seconds_many`."""
+        return float(
+            self.download_seconds_many(
+                np.array([client_id]), np.array([num_bytes])
+            )[0]
+        )
 
     def upload_seconds(self, client_id: int, num_bytes: float) -> float:
-        return transfer_seconds(num_bytes, self.bandwidth.up_mbps[client_id])
+        """Scalar convenience over :meth:`upload_seconds_many`."""
+        return float(
+            self.upload_seconds_many(
+                np.array([client_id]), np.array([num_bytes])
+            )[0]
+        )
 
     def download_seconds_many(
         self, client_ids: np.ndarray, num_bytes: np.ndarray
     ) -> np.ndarray:
         """Vectorized download times for several clients at once."""
-        return (
-            np.asarray(num_bytes, dtype=np.float64)
-            * 8.0
-            / (self.bandwidth.down_mbps[client_ids] * 1e6)
+        return _transfer_seconds_many(
+            num_bytes, self.bandwidth.down_mbps[client_ids]
         )
 
     def upload_seconds_many(
         self, client_ids: np.ndarray, num_bytes: np.ndarray
     ) -> np.ndarray:
         """Vectorized upload times for several clients at once."""
-        return (
-            np.asarray(num_bytes, dtype=np.float64)
-            * 8.0
-            / (self.bandwidth.up_mbps[client_ids] * 1e6)
+        return _transfer_seconds_many(
+            num_bytes, self.bandwidth.up_mbps[client_ids]
         )

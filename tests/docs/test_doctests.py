@@ -38,6 +38,7 @@ DOCUMENTED_MODULES = (
     "repro.privacy.mechanisms",
     "repro.privacy.strategy",
     "repro.compression.base",
+    "repro.engine.clock",
     "repro.fl.samplers",
     "repro.fl.config",
     "repro.utils.rng",
