@@ -174,6 +174,21 @@ def main() -> None:
                 "scheduler": "semiasync",
             },
         ),
+        # churn-storm device population (vectorized state columns + the
+        # trace-driven failure scheduler, quorum re-draws on bursts)
+        (
+            "churn_storm_serial_float32",
+            {
+                "execution_backend": "serial",
+                "dtype": "float32",
+                "scheduler": "failure",
+                "failure_burst_every": 5,
+                "failure_burst_dropout": 0.8,
+                "skip_empty_rounds": True,
+                "quorum_fraction": 0.5,
+                "redraw_max_attempts": 2,
+            },
+        ),
     ]
     for label, extra in combos:
         samples = [

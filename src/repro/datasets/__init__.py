@@ -13,6 +13,7 @@ from repro.datasets.synthetic import (
     spectrogram_prototypes,
     synthetic_federation,
 )
+from repro.datasets.lazy import LazyClientList, lazy_synthetic_federation
 from repro.datasets.femnist import femnist_like
 from repro.datasets.openimage import openimage_like
 from repro.datasets.speech import speech_like
@@ -34,6 +35,8 @@ __all__ = [
     "image_prototypes",
     "spectrogram_prototypes",
     "sample_from_prototypes",
+    "LazyClientList",
+    "lazy_synthetic_federation",
     "femnist_like",
     "openimage_like",
     "speech_like",

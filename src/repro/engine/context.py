@@ -58,9 +58,27 @@ class RoundContext:
     # -- timing/selection phase ------------------------------------------------
     up_nominal: int = 0
     selection: Any = None
+    #: candidates whose upload was lost mid-round (population runs only) —
+    #: the measurement phase hands them to ``population.finish_round`` so
+    #: they enter the DROPPED state for the configured cooldown
+    dropped_ids: Optional[np.ndarray] = None
+    #: simulated seconds spent on failed quorum re-draw waves (charged on
+    #: top of the final selection's round time)
+    redraw_wait_s: float = 0.0
+    #: how many quorum re-draw waves ran this round
+    quorum_redraws: int = 0
+    #: the cohort stayed below quorum after every allowed re-draw; the
+    #: round degrades to ``skip_empty_rounds`` semantics
+    quorum_failed: bool = False
+    #: total distinct candidates contacted across re-draw waves (None →
+    #: the record reports ``len(draw.candidates)`` as before)
+    num_candidates: Optional[int] = None
 
     # -- execution phase ---------------------------------------------------------
     lr: float = 0.0
+    #: mean realized work fraction over participants (population runs with
+    #: partial completeness; None otherwise)
+    mean_completeness: Optional[float] = None
     all_weights: Optional[np.ndarray] = None
     tasks: List[Any] = field(default_factory=list)
     results: List[Any] = field(default_factory=list)

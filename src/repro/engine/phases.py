@@ -16,6 +16,7 @@ context is the round's scratchpad.
 
 from __future__ import annotations
 
+import math
 from typing import List, Tuple
 
 import numpy as np
@@ -23,7 +24,12 @@ import numpy as np
 from repro.engine.context import RoundContext
 from repro.fl.aggregation import aggregate_buffer_deltas
 from repro.fl.metrics import RoundRecord
-from repro.fl.simulator import CandidateTimings, select_participants
+from repro.fl.samplers import SampleDraw
+from repro.fl.simulator import (
+    CandidateTimings,
+    ParticipantSelection,
+    select_participants,
+)
 from repro.network.encoding import dense_bytes
 from repro.runtime.backends import ClientTask
 
@@ -93,14 +99,21 @@ def candidate_timings(
     The one place the latency model is assembled — the timing phase, the
     async dispatcher, and the tiered schedulers all price candidates
     through this helper (every client uploads the a-priori ``up_nominal``
-    bytes; actual payload sizes are only known after compression).
+    bytes; actual payload sizes are only known after compression).  When
+    the server runs a device population, each candidate's compute leg is
+    scaled by its responsiveness column — so straggler storms and slow
+    device classes reach every scheduler through this single seam.
     """
+    compute_s = server.compute.round_seconds_many(
+        client_ids, server.config.local_steps, server.model_scale
+    )
+    population = getattr(server, "population", None)
+    if population is not None:
+        compute_s = compute_s * population.responsiveness_of(client_ids)
     return CandidateTimings(
         client_ids=client_ids,
         download_s=server.links.download_seconds_many(client_ids, down_bytes),
-        compute_s=server.compute.round_seconds_many(
-            client_ids, server.config.local_steps, server.model_scale
-        ),
+        compute_s=compute_s,
         upload_s=server.links.upload_seconds_many(
             client_ids, np.full(len(client_ids), up_nominal)
         ),
@@ -202,7 +215,14 @@ class Phase:
 
 
 class SamplingPhase(Phase):
-    """Strategy round-open + availability + over-committed candidate draw."""
+    """Strategy round-open + availability + over-committed candidate draw.
+
+    With a device population bound, ``availability.online`` is the
+    population's *idle* mask (the sampler-seam of the state machine:
+    working/offline/dropped clients are never drawn), and every contacted
+    candidate transitions to WORKING until the measurement phase closes
+    the round.
+    """
 
     name = "sampling"
 
@@ -210,9 +230,22 @@ class SamplingPhase(Phase):
         server.strategy.begin_round(ctx.round_idx)
         ctx.round_opened = True  # the engine aborts us if a phase raises
         ctx.available = server.availability.online(ctx.round_idx)
+        if not ctx.available.any() and server.config.skip_empty_rounds:
+            # a churn storm (or a DROPPED-cooldown pileup) can empty the
+            # pool outright; degrade to an empty round instead of letting
+            # the sampler raise on a pool it cannot draw from
+            empty = np.empty(0, dtype=np.int64)
+            ctx.draw = SampleDraw(
+                sticky=empty, nonsticky=empty,
+                quota_sticky=0, quota_nonsticky=0,
+            )
+            return
         ctx.draw = server.sampler.draw(
             ctx.round_idx, ctx.available, server.config.overcommit
         )
+        population = getattr(server, "population", None)
+        if population is not None:
+            population.begin_work(ctx.draw.candidates)
 
 
 class SyncAccountingPhase(Phase):
@@ -249,7 +282,19 @@ class TimingSelectionPhase(Phase):
     name = "timing"
 
     def run(self, server, ctx: RoundContext) -> None:
-        up_nominal = ctx.up_nominal = nominal_upstream_bytes(server)
+        ctx.up_nominal = nominal_upstream_bytes(server)
+        ctx.selection = self._select_wave(server, ctx, ctx.draw, ctx.down_per_client)
+        if server.config.quorum_fraction is not None:
+            self._enforce_quorum(server, ctx)
+
+    @staticmethod
+    def _select_wave(
+        server, ctx: RoundContext, draw, down_per_client: np.ndarray
+    ) -> ParticipantSelection:
+        """Price one candidate wave and select its first-K-per-bucket
+        cohort — the original timing-phase body, reusable per quorum
+        re-draw wave."""
+        up_nominal = ctx.up_nominal
 
         def timings_for(ids: np.ndarray, down: np.ndarray) -> CandidateTimings:
             timings = candidate_timings(server, ids, down, up_nominal)
@@ -264,10 +309,9 @@ class TimingSelectionPhase(Phase):
                 )
             return timings
 
-        draw = ctx.draw
         n_sticky = len(draw.sticky)
-        sticky_t = timings_for(draw.sticky, ctx.down_per_client[:n_sticky])
-        nonsticky_t = timings_for(draw.nonsticky, ctx.down_per_client[n_sticky:])
+        sticky_t = timings_for(draw.sticky, down_per_client[:n_sticky])
+        nonsticky_t = timings_for(draw.nonsticky, down_per_client[n_sticky:])
         sticky_survives = server.availability.survives_round(draw.sticky)
         nonsticky_survives = server.availability.survives_round(draw.nonsticky)
         if ctx.extra_dropout_prob > 0.0:
@@ -280,7 +324,16 @@ class TimingSelectionPhase(Phase):
                     draw.nonsticky, ctx.extra_dropout_prob
                 )
             )
-        ctx.selection = select_participants(
+        if getattr(server, "population", None) is not None:
+            lost = np.concatenate(
+                [draw.sticky[~sticky_survives], draw.nonsticky[~nonsticky_survives]]
+            )
+            ctx.dropped_ids = (
+                lost
+                if ctx.dropped_ids is None
+                else np.concatenate([ctx.dropped_ids, lost])
+            )
+        return select_participants(
             sticky_t,
             nonsticky_t,
             draw.quota_sticky,
@@ -288,6 +341,72 @@ class TimingSelectionPhase(Phase):
             sticky_survives,
             nonsticky_survives,
         )
+
+    def _enforce_quorum(self, server, ctx: RoundContext) -> None:
+        """Graceful degradation: re-draw fresh candidates (bounded, each
+        wave charged to the clock) while the surviving cohort stays below
+        ``quorum_fraction · K``; below quorum after the last attempt the
+        round degrades to ``skip_empty_rounds`` semantics."""
+        cfg = server.config
+        population = getattr(server, "population", None)
+        need = max(1, math.ceil(cfg.quorum_fraction * server.sampler.k))
+        if ctx.selection.count >= need:
+            return
+        tried = set(np.asarray(ctx.draw.candidates).tolist())
+        attempts = 0
+        while ctx.selection.count < need and attempts < cfg.redraw_max_attempts:
+            pool = ctx.available.copy()
+            if tried:
+                pool[np.fromiter(tried, dtype=np.int64, count=len(tried))] = False
+            if not pool.any():
+                break
+            try:
+                draw = server.sampler.draw(ctx.round_idx, pool, cfg.overcommit)
+            except RuntimeError:  # sampler found nobody to contact
+                break
+            candidates = draw.candidates
+            if len(candidates) == 0:
+                break
+            attempts += 1
+            # the superseded wave still ran to its deadline; pay for it
+            # (plus the configured backoff) before the fresh wave starts.
+            # waves that never launch (exhausted pool, empty draw) charge
+            # nothing here — the terminal failed wave is paid below
+            ctx.redraw_wait_s += ctx.selection.round_seconds + cfg.redraw_backoff_s
+            # the fresh wave's downstream accounting mirrors the sync phase
+            n_prev = len(tried)
+            sync_bytes, down = downstream_sync_bytes(server, candidates)
+            fresh_stale = server.staleness.mean_staleness_fraction(candidates)
+            ctx.down_bytes_total += int(down.sum())
+            if cfg.collect_sync_details:
+                ctx.sync_details = (ctx.sync_details or []) + sync_detail_rows(
+                    server, candidates, sync_bytes
+                )
+            server.staleness.mark_synced(candidates)
+            ctx.mean_stale_fraction = (
+                n_prev * ctx.mean_stale_fraction + len(candidates) * fresh_stale
+            ) / (n_prev + len(candidates))
+            if population is not None:
+                population.begin_work(candidates)
+            tried.update(np.asarray(candidates).tolist())
+            ctx.draw = draw
+            ctx.selection = self._select_wave(server, ctx, draw, down)
+        ctx.quorum_redraws = attempts
+        if attempts:
+            ctx.num_candidates = len(tried)
+        if ctx.selection.count < need:
+            # the last wave also ran (and failed); its time is still paid
+            ctx.quorum_failed = True
+            ctx.redraw_wait_s += ctx.selection.round_seconds
+            empty = np.empty(0, dtype=np.int64)
+            ctx.selection = ParticipantSelection(
+                sticky_ids=empty,
+                nonsticky_ids=empty,
+                round_seconds=0.0,
+                download_seconds=0.0,
+                compute_seconds=0.0,
+                upload_seconds=0.0,
+            )
 
 
 class ExecutionPhase(Phase):
@@ -308,13 +427,48 @@ class ExecutionPhase(Phase):
         )
         ctx.lr = server.lr_schedule.at_round(ctx.round_idx - 1)
         ctx.all_weights = np.concatenate([nu_s, nu_r])
+        steps = self._partial_work(server, ctx, selection)
         ctx.tasks = [
-            ClientTask(client_id=int(cid), lr=ctx.lr, round_idx=ctx.round_idx)
-            for cid in selection.participant_ids
+            ClientTask(
+                client_id=int(cid),
+                lr=ctx.lr,
+                round_idx=ctx.round_idx,
+                local_steps=None if steps is None else int(steps[i]),
+            )
+            for i, cid in enumerate(selection.participant_ids)
         ]
         ctx.results = server.backend.run_clients(
             ctx.tasks, server.global_params, server.global_buffers
         )
+
+    @staticmethod
+    def _partial_work(server, ctx: RoundContext, selection):
+        """Per-participant realized local steps under partial completeness.
+
+        Devices whose completeness column is below 1 run
+        ``ceil(completeness · E)`` steps; their aggregation weights are
+        scaled by the realized work fraction and renormalized so the
+        cohort's total weight mass is preserved — a partial update counts
+        honestly for less, without shrinking the aggregate step size.
+        Returns ``None`` (full work for everyone) unless a population with
+        partial completeness is bound.
+        """
+        population = getattr(server, "population", None)
+        if population is None or not selection.count:
+            return None
+        full_steps = server.config.local_steps
+        steps = population.local_steps_for(selection.participant_ids, full_steps)
+        frac = steps / float(full_steps)
+        ctx.mean_completeness = float(frac.mean())
+        if not np.any(steps != full_steps):
+            return None
+        scaled = ctx.all_weights * frac
+        total = float(ctx.all_weights.sum())
+        scaled_total = float(scaled.sum())
+        if scaled_total > 0.0:
+            scaled *= total / scaled_total
+        ctx.all_weights = scaled
+        return steps
 
 
 class CompressionPhase(Phase):
@@ -336,6 +490,11 @@ class CompressionPhase(Phase):
         if not ctx.payloads:
             if server.config.skip_empty_rounds:
                 ctx.empty_round = True
+            elif ctx.quorum_failed:
+                raise RuntimeError(
+                    f"round {ctx.round_idx}: cohort below quorum after "
+                    f"{ctx.quorum_redraws} re-draw(s)"
+                )
             else:
                 # the engine pairs the opened round via abort_round
                 raise RuntimeError(
@@ -372,23 +531,40 @@ class MeasurementPhase(Phase):
         t = ctx.round_idx
         ctx.accuracy = scheduled_accuracy(server, t, ctx.down_bytes_total)
         selection = ctx.selection
+        round_seconds = selection.round_seconds
+        if ctx.redraw_wait_s:
+            # failed quorum waves ran before this selection; their wall
+            # time (plus backoff) is part of the round
+            round_seconds = round_seconds + ctx.redraw_wait_s
         ctx.record = RoundRecord(
             round_idx=t,
             down_bytes=ctx.down_bytes_total,
             up_bytes=ctx.up_bytes_total,
-            round_seconds=selection.round_seconds,
+            round_seconds=round_seconds,
             download_seconds=selection.download_seconds,
             compute_seconds=selection.compute_seconds,
             upload_seconds=selection.upload_seconds,
-            num_candidates=len(ctx.draw.candidates),
+            num_candidates=(
+                ctx.num_candidates
+                if ctx.num_candidates is not None
+                else len(ctx.draw.candidates)
+            ),
             num_participants=0 if ctx.empty_round else selection.count,
             mean_stale_fraction=ctx.mean_stale_fraction,
             train_loss=float(np.mean(ctx.losses)) if ctx.losses else 0.0,
             accuracy=ctx.accuracy,
             sync_details=ctx.sync_details,
             injected_failure=ctx.injected_failure,
+            quorum_redraws=ctx.quorum_redraws,
+            quorum_failed=ctx.quorum_failed,
+            mean_completeness=ctx.mean_completeness,
             privacy_epsilon_spent=server.strategy.privacy_epsilon_spent(),
         )
+        population = getattr(server, "population", None)
+        if population is not None:
+            # close the state machine: workers return to idle, mid-round
+            # failures enter DROPPED for the configured cooldown
+            population.finish_round(t, ctx.dropped_ids)
         if ctx.clock is not None:
             # replay the round's duration through the scheduler's clock so
             # every record carries comparable cumulative simulated time

@@ -41,15 +41,20 @@ A scheduler decides what one call to ``FLServer.run_round`` means:
     ``tests/engine/golden_async.json``.
 
 ``failure``
-    The sync pipeline plus injected failure bursts: every
-    ``failure_burst_every``-th round, a dropout burst
-    (``failure_burst_dropout`` extra mid-round dropout) and a straggler
-    storm (``failure_straggler_fraction`` of candidates slowed by
-    ``failure_straggler_slowdown``×) hit the timing phase, both drawn from
-    the availability trace's RNG.  Burst rounds are flagged in
-    ``RoundRecord.injected_failure``; pair with
+    The sync pipeline over a fault-injecting device population: the server
+    auto-attaches a ``"storm"`` population preset
+    (:class:`~repro.population.traces.ChurnStormTrace`, parameterized by
+    the ``failure_*`` knobs), so every ``failure_burst_every``-th round
+    (1-based — first burst at round ``failure_burst_every``) a dropout
+    burst collapses the population's connectivity column by
+    ``failure_burst_dropout`` and a straggler storm multiplies
+    ``failure_straggler_fraction`` of devices' responsiveness by
+    ``failure_straggler_slowdown``× — plain trace-driven state
+    transitions read by the unchanged timing phase.  Burst rounds are
+    flagged in ``RoundRecord.injected_failure``; pair with
     ``RunConfig.skip_empty_rounds`` so a burst that wipes out every
-    candidate records a zero-participant round instead of aborting.
+    candidate records a zero-participant round instead of aborting.  The
+    record stream is pinned by ``tests/engine/golden_failure.json``.
 
 ``semiasync``
     FLASH-style tiered rounds.  The round samples and prices candidates
@@ -108,6 +113,7 @@ from repro.engine.phases import (
 )
 from repro.fl.aggregation import staleness_discounted_weights
 from repro.fl.metrics import RoundRecord
+from repro.fl.samplers import SampleDraw
 from repro.fl.simulator import select_participants
 from repro.runtime.backends import ClientTask
 
@@ -168,7 +174,24 @@ class SyncScheduler(Scheduler):
 
 
 class FailureInjectionScheduler(SyncScheduler):
-    """Sync rounds with periodic dropout bursts + straggler storms."""
+    """Sync rounds with periodic dropout bursts + straggler storms.
+
+    The faults themselves live in the server's device population: building
+    a ``failure`` server auto-attaches a ``"storm"``
+    :class:`~repro.population.traces.ChurnStormTrace` (parameterized by the
+    ``failure_*`` knobs) unless the config supplies its own population, so
+    bursts are plain trace-driven state transitions — connectivity
+    collapses and responsiveness multiplies in the population columns, and
+    the unchanged timing phase reads them through the availability-trace
+    protocol.  This scheduler only *flags* burst rounds
+    (``RoundRecord.injected_failure``) by asking the trace's ``is_burst``.
+
+    Round indices are 1-based, so the first burst lands at round
+    ``failure_burst_every``, not round 0 (pinned by
+    ``tests/engine/test_schedulers.py``).  Populations without a burst
+    schedule (or legacy servers built without a population) fall back to
+    the context-knob injection path the timing phase has always honored.
+    """
 
     name = "failure"
 
@@ -179,6 +202,15 @@ class FailureInjectionScheduler(SyncScheduler):
     @staticmethod
     def _inject(server, ctx: RoundContext) -> None:
         cfg = server.config
+        population = getattr(server, "population", None)
+        if population is not None:
+            is_burst = getattr(population.trace, "is_burst", None)
+            if is_burst is not None:
+                # trace-driven faults: the population columns already
+                # carry the burst; just flag the record
+                if is_burst(ctx.round_idx):
+                    ctx.injected_failure = True
+                return
         every = cfg.failure_burst_every
         if every and ctx.round_idx % every == 0:
             ctx.extra_dropout_prob = cfg.failure_burst_dropout
@@ -485,7 +517,17 @@ class SemiAsyncScheduler(Scheduler):
         if self._busy:
             available = available.copy()
             available[np.fromiter(self._busy, dtype=np.int64)] = False
-        draw = server.sampler.draw(t, available, cfg.overcommit)
+        if not available.any() and cfg.skip_empty_rounds:
+            # churn can empty the drawable pool outright (everyone offline,
+            # dropped, or busy with a straggler task): run a zero-candidate
+            # fast tier — due straggler arrivals still fold in below
+            empty = np.empty(0, dtype=np.int64)
+            draw = SampleDraw(
+                sticky=empty, nonsticky=empty,
+                quota_sticky=0, quota_nonsticky=0,
+            )
+        else:
+            draw = server.sampler.draw(t, available, cfg.overcommit)
         candidates = draw.candidates
         sync_bytes, down_per_client = downstream_sync_bytes(server, candidates)
         down_total = int(down_per_client.sum())

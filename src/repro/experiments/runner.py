@@ -93,6 +93,7 @@ def build_config(
         eval_every=scenario.eval_every,
         eval_top_k=scenario.eval_top_k,
         scheduler=scenario.scheduler,
+        population_preset=scenario.population_preset,
         seed=seed,
     )
     params.update(overrides)

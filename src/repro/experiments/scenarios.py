@@ -50,6 +50,10 @@ class Scenario:
     #: ``repro.engine.schedulers.SCHEDULERS``); every record then carries
     #: the scheduler clock's ``wall_clock_s`` for time-to-accuracy cuts
     scheduler: str = "sync"
+    #: device-population preset (any name in
+    #: ``repro.population.POPULATION_PRESETS``) — ``None`` runs the plain
+    #: availability trace with no population state machine
+    population_preset: str = None  # type: ignore[assignment]
 
     def dataset(self, seed: int = 0) -> FederatedDataset:
         return self.dataset_fn(seed)
@@ -217,6 +221,36 @@ SCENARIOS.add(
         q=0.20,
         q_shr=0.16,
         scheduler="semiasync",
+    ),
+)
+
+# --- device churn (benchmarks/bench_device_churn.py) ---------------------------------
+SCENARIOS.add(
+    "femnist-churn",
+    Scenario(
+        name="femnist-churn",
+        dataset_fn=_femnist(150, 36),
+        model_name="mlp",
+        model_kwargs={"hidden": (48,)},
+        k=10,
+        rounds=100,
+        q=0.20,
+        q_shr=0.16,
+        population_preset="storm",
+    ),
+)
+SCENARIOS.add(
+    "femnist-diurnal",
+    Scenario(
+        name="femnist-diurnal",
+        dataset_fn=_femnist(150, 36),
+        model_name="mlp",
+        model_kwargs={"hidden": (48,)},
+        k=10,
+        rounds=100,
+        q=0.20,
+        q_shr=0.16,
+        population_preset="diurnal",
     ),
 )
 

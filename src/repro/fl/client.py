@@ -12,6 +12,7 @@ parameter dtype, so a float32 run never silently up-casts to float64.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -75,8 +76,16 @@ class LocalTrainer:
         dataset: ClientDataset,
         lr: float,
         rng: np.random.Generator,
+        local_steps: Optional[int] = None,
     ) -> LocalResult:
-        """Train ``E`` steps from the given global state; return deltas."""
+        """Train ``E`` steps from the given global state; return deltas.
+
+        ``local_steps`` overrides the configured E for this call — partial
+        work from devices whose population completeness is below 1.
+        """
+        steps = self.local_steps if local_steps is None else local_steps
+        if steps <= 0:
+            raise ValueError("local_steps override must be positive")
         self.view.set_flat(global_params)
         if self.view.num_buffer:
             self.view.set_buffers_flat(global_buffers)
@@ -90,7 +99,7 @@ class LocalTrainer:
         )
         losses = []
         for xb, yb in dataset.batches(
-            self.batch_size, rng, num_batches=self.local_steps
+            self.batch_size, rng, num_batches=steps
         ):
             optimizer.zero_grad()
             logits = self.model(xb.astype(self.dtype, copy=False))

@@ -52,6 +52,22 @@ class RunConfig:
     * ``skip_empty_rounds`` — survive rounds where nobody's update arrives
       by recording a zero-participant round instead of raising.
 
+    Device population (see :mod:`repro.population`):
+
+    * ``population_preset`` — model the federation as a vectorized
+      :class:`~repro.population.DeviceStatePopulation` (numpy state
+      columns with an idle/working/offline/dropped state machine) driven
+      by a scenario trace: ``"none"``, ``"diurnal"``, ``"device-classes"``
+      (phone/tablet/silo), or ``"storm"`` (periodic churn bursts).
+      ``scheduler="failure"`` auto-builds the ``"storm"`` population from
+      the ``failure_*`` knobs.
+    * ``quorum_fraction`` / ``redraw_max_attempts`` / ``redraw_backoff_s``
+      — graceful degradation: when a round's surviving cohort falls below
+      ``quorum_fraction · K``, the timing phase re-draws fresh candidates
+      up to ``redraw_max_attempts`` times (each wave's round time plus
+      ``redraw_backoff_s`` is charged to the simulated clock) before
+      falling back to ``skip_empty_rounds`` semantics.
+
     Sampling policy (see :mod:`repro.fl.samplers` for the weight contract):
 
     * ``sampler`` — any :class:`~repro.fl.samplers.ClientSampler`.  Each
@@ -163,7 +179,9 @@ class RunConfig:
     #: semiasync: discard straggler arrivals staler than this many rounds
     #: (0 keeps only same-round arrivals)
     semiasync_max_lag: int = 10
-    #: failure: inject a burst every Nth round (0 disables)
+    #: failure: inject a burst every Nth round (0 disables).  Round
+    #: indices are 1-based, so the first burst lands at round
+    #: ``failure_burst_every`` — round 1 is never a burst unless this is 1
     failure_burst_every: int = 5
     #: failure: extra mid-round dropout probability during a burst
     failure_burst_dropout: float = 0.75
@@ -171,6 +189,32 @@ class RunConfig:
     failure_straggler_fraction: float = 0.3
     #: failure: compute-time multiplier for storm-hit candidates
     failure_straggler_slowdown: float = 4.0
+
+    # device population (repro.population)
+    #: scenario preset building a vectorized
+    #: :class:`~repro.population.DeviceStatePopulation` as the server's
+    #: availability model: "none" | "diurnal" | "device-classes" | "storm"
+    #: (``scheduler="failure"`` defaults to "storm" automatically)
+    population_preset: Optional[str] = None
+    #: pre-built :class:`~repro.population.DeviceStatePopulation`;
+    #: overrides ``population_preset``
+    population: Optional[Any] = None
+    #: floor on any trace-assigned per-client completeness (work fraction)
+    population_min_completeness: float = 0.25
+    #: cap on any trace-assigned compute-slowdown multiplier
+    population_max_responsiveness: float = 8.0
+    #: rounds a mid-round-dropped client sits out before rejoining the pool
+    population_dropped_cooldown: int = 1
+    #: graceful degradation: minimum surviving cohort, as a fraction of the
+    #: sampler's K, below which the timing phase re-draws fresh candidates
+    #: (None disables quorum checking).  Sync-shaped schedulers only
+    quorum_fraction: Optional[float] = None
+    #: quorum: bounded number of re-draw waves before giving up and
+    #: degrading to ``skip_empty_rounds`` semantics
+    redraw_max_attempts: int = 2
+    #: quorum: extra simulated seconds charged to the clock per re-draw
+    #: (on top of the failed wave's round time)
+    redraw_backoff_s: float = 0.0
 
     # privacy (repro.privacy)
     #: "off" | "gaussian" | "random_defense"
@@ -284,6 +328,35 @@ class RunConfig:
             raise ValueError("failure_straggler_fraction must be in [0, 1]")
         if self.failure_straggler_slowdown < 1.0:
             raise ValueError("failure_straggler_slowdown must be >= 1")
+        if self.population_preset is not None:
+            from repro.population import POPULATION_PRESETS
+
+            if self.population_preset not in POPULATION_PRESETS:
+                raise ValueError(
+                    f"unknown population_preset {self.population_preset!r}; "
+                    f"expected {POPULATION_PRESETS}"
+                )
+        if not 0.0 < self.population_min_completeness <= 1.0:
+            raise ValueError(
+                "population_min_completeness must be in (0, 1]"
+            )
+        if self.population_max_responsiveness < 1.0:
+            raise ValueError("population_max_responsiveness must be >= 1")
+        if self.population_dropped_cooldown < 0:
+            raise ValueError("population_dropped_cooldown must be >= 0")
+        if self.quorum_fraction is not None:
+            if not 0.0 < self.quorum_fraction <= 1.0:
+                raise ValueError("quorum_fraction must be in (0, 1]")
+            if self.scheduler in ("async", "semiasync"):
+                raise ValueError(
+                    "quorum_fraction is a synchronous-cohort concept; the "
+                    f"{self.scheduler!r} scheduler has no per-round cohort "
+                    "to re-draw — unset it or use a sync-shaped scheduler"
+                )
+        if self.redraw_max_attempts < 0:
+            raise ValueError("redraw_max_attempts must be >= 0")
+        if self.redraw_backoff_s < 0:
+            raise ValueError("redraw_backoff_s must be >= 0")
         if self.privacy_mode not in PRIVACY_MODES:
             raise ValueError(
                 f"unknown privacy_mode {self.privacy_mode!r}; "

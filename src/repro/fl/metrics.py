@@ -56,6 +56,15 @@ class RoundRecord:
     #: True when the failure-injection scheduler hit this round with a
     #: dropout burst / straggler storm
     injected_failure: bool = False
+    #: quorum degradation: how many re-draw waves ran after the cohort
+    #: collapsed below ``quorum_fraction · K`` (0 = quorum met first try)
+    quorum_redraws: int = 0
+    #: the cohort stayed below quorum after every allowed re-draw and the
+    #: round degraded to ``skip_empty_rounds`` semantics
+    quorum_failed: bool = False
+    #: mean realized work fraction over this round's participants (device
+    #: populations with partial completeness; None otherwise)
+    mean_completeness: Optional[float] = None
     #: cumulative (ε, δ)-DP budget consumed through this round, reported
     #: by the strategy's privacy accountant (None when no accounting is
     #: active — privacy off, zero noise, or the random-mask defense)

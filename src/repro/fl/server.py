@@ -12,8 +12,9 @@ by ``RunConfig.scheduler``:
   Algorithm 1's round (pinned by ``tests/engine/test_round_engine.py``);
 * ``"async"`` runs FedBuff-style buffered asynchrony over the shared
   simulated-time clock's event queue of client finish times;
-* ``"failure"`` replays the sync pipeline under injected dropout bursts and
-  straggler storms;
+* ``"failure"`` replays the sync pipeline over a fault-injecting device
+  population (``"storm"`` preset: dropout bursts + straggler storms as
+  trace-driven state transitions);
 * ``"semiasync"`` runs FLASH-style tiered rounds (sync fast tier at its
   deadline + staleness-discounted straggler fold-in);
 * ``"overlapped"`` replays the sync pipeline under a pipelined clock
@@ -112,6 +113,30 @@ class FLServer:
                 mean_on_fraction=config.mean_on_fraction,
                 dropout_prob=config.dropout_prob,
             )
+        # device population: explicit object > preset > auto "storm" for
+        # the failure scheduler (its faults are trace-driven transitions).
+        # When bound, the population *is* the availability model — it
+        # duck-types the trace protocol over its vectorized state columns.
+        if config.population is not None:
+            self.population = config.population
+        elif config.population_preset is not None or config.scheduler == "failure":
+            from repro.population import build_population
+
+            self.population = build_population(
+                config.population_preset or "storm",
+                self.n,
+                self.rngs("population"),
+                config=config,
+            )
+        else:
+            self.population = None
+        if self.population is not None:
+            if self.population.num_clients != self.n:
+                raise ValueError(
+                    f"population models {self.population.num_clients} "
+                    f"clients but the dataset has {self.n}"
+                )
+            self.availability = self.population
         self.staleness = StalenessTracker(self.d, self.n)
         self.trainer = LocalTrainer(
             self.model,

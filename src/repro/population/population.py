@@ -1,0 +1,236 @@
+"""Vectorized device-state population: every client is a row, not an object.
+
+FLGo-style system simulators give every client a Python object with an
+idle/working/offline/dropped state machine.  That design caps the
+federation size at whatever fits in object overhead; this module keeps the
+same state machine but stores the whole population as parallel numpy
+columns, so 10⁵–10⁶ clients cost a few flat arrays:
+
+``state``
+    int8 state machine: ``IDLE`` (0, selectable), ``WORKING`` (1, training
+    this round), ``OFFLINE`` (2, unavailable per the device trace), and
+    ``DROPPED`` (3, failed mid-round; sits out ``dropped_cooldown`` rounds).
+``available``
+    The device trace's online mask (duty cycle, diurnal window, …).
+``connectivity``
+    Per-client probability that an upload survives the round — the
+    vectorized generalization of the availability trace's scalar
+    ``dropout_prob`` (survive probability = connectivity).
+``completeness``
+    Fraction of the configured local steps the device can actually run;
+    partial completeness yields partial-work updates whose aggregation
+    weights are scaled down honestly (see the execution phase).
+``responsiveness``
+    Compute-time multiplier (1.0 = nominal; a straggler storm sets it > 1).
+
+The population *is* the server's availability model: it duck-types the
+:class:`~repro.traces.availability.AvailabilityTrace` protocol (``online``,
+``survives_round``, ``burst_survives``, ``straggler_mask``) so every
+scheduler consumes it unchanged, and adds the state-machine API the engine
+phases drive (``begin_work`` → ``finish_round``).  State advances once per
+round, on the first ``online(round_idx)`` call: expired drops revive, the
+bound :class:`~repro.population.traces.DeviceTrace` rewrites the columns,
+and non-working devices settle into idle/offline.
+
+>>> import numpy as np
+>>> pop = DeviceStatePopulation(4, np.random.default_rng(0))
+>>> pop.online(1).tolist()
+[True, True, True, True]
+>>> pop.begin_work(np.array([0, 1]))
+>>> pop.online(1).tolist()          # working devices are not selectable
+[False, False, True, True]
+>>> pop.finish_round(1, dropped_ids=np.array([1]))
+>>> pop.online(2).tolist()          # 0 is idle again; 1 sits out a round
+[True, False, True, True]
+>>> pop.online(3).tolist()          # the drop cooldown expired
+[True, True, True, True]
+>>> pop.state_counts() == {"idle": 4, "working": 0, "offline": 0,
+...                        "dropped": 0}
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "IDLE",
+    "WORKING",
+    "OFFLINE",
+    "DROPPED",
+    "DeviceStatePopulation",
+]
+
+IDLE = 0
+WORKING = 1
+OFFLINE = 2
+DROPPED = 3
+
+
+class DeviceStatePopulation:
+    """All clients as numpy state columns with an idle/working/offline/
+    dropped state machine (see the module docstring for the columns).
+
+    Parameters
+    ----------
+    num_clients:
+        Federation size N.
+    rng:
+        Source of the mid-round survival draws (the same role the
+        availability trace's RNG plays).
+    trace:
+        A :class:`~repro.population.traces.DeviceTrace` that rewrites the
+        columns each round; ``None`` keeps the constructor baselines
+        (always available, uniform connectivity).
+    dropout_prob:
+        Baseline mid-round dropout: initial connectivity is
+        ``1 − dropout_prob`` for every client.
+    dropped_cooldown:
+        How many rounds a mid-round-dropped client sits out before
+        returning to the idle pool (0 = back next round).
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        rng: np.random.Generator,
+        trace=None,
+        *,
+        dropout_prob: float = 0.0,
+        dropped_cooldown: int = 1,
+    ):
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if not 0.0 <= dropout_prob < 1.0:
+            raise ValueError("dropout_prob must be in [0, 1)")
+        if dropped_cooldown < 0:
+            raise ValueError("dropped_cooldown must be >= 0")
+        self.num_clients = num_clients
+        self.dropout_prob = float(dropout_prob)
+        self.dropped_cooldown = int(dropped_cooldown)
+        self._rng = rng
+
+        n = num_clients
+        self.available = np.ones(n, dtype=bool)
+        self.connectivity = np.full(n, 1.0 - dropout_prob)
+        self.completeness = np.ones(n)
+        self.responsiveness = np.ones(n)
+        self.state = np.zeros(n, dtype=np.int8)
+        self._drop_until = np.full(n, -1, dtype=np.int64)
+        self._round = -1
+
+        if trace is None:
+            from repro.population.traces import StaticTrace
+
+            trace = StaticTrace()
+        self.trace = trace
+        trace.bind(self)
+        # post-bind snapshots: the columns a trace restores on calm rounds
+        self.base_connectivity = self.connectivity.copy()
+        self.base_responsiveness = self.responsiveness.copy()
+        self.base_completeness = self.completeness.copy()
+
+    # -- round state machine -----------------------------------------------------
+    def advance(self, round_idx: int) -> None:
+        """Advance the state columns to ``round_idx`` (idempotent per round).
+
+        Revives expired drops, lets the device trace rewrite the columns,
+        then settles every non-working, non-dropped device into
+        idle/offline per the refreshed ``available`` mask.
+        """
+        if round_idx == self._round:
+            return
+        self._round = round_idx
+        revive = (self.state == DROPPED) & (round_idx > self._drop_until)
+        self.state[revive] = IDLE
+        self.trace.apply(self, round_idx)
+        settled = (self.state != WORKING) & (self.state != DROPPED)
+        self.state[settled] = np.where(
+            self.available[settled], IDLE, OFFLINE
+        ).astype(np.int8)
+
+    def online(self, round_idx: int) -> np.ndarray:
+        """Boolean mask of *selectable* clients: idle at ``round_idx``."""
+        self.advance(round_idx)
+        return self.state == IDLE
+
+    def online_clients(self, round_idx: int) -> np.ndarray:
+        """Ids of selectable clients at ``round_idx``."""
+        return np.flatnonzero(self.online(round_idx))
+
+    def begin_work(self, client_ids: np.ndarray) -> None:
+        """Mark contacted candidates as working — out of the idle pool."""
+        if len(client_ids):
+            self.state[np.asarray(client_ids, dtype=np.int64)] = WORKING
+
+    def finish_round(
+        self, round_idx: int, dropped_ids: Optional[np.ndarray] = None
+    ) -> None:
+        """Close the round: working devices return to idle, mid-round
+        failures enter ``DROPPED`` until ``round_idx + dropped_cooldown``
+        has passed."""
+        self.state[self.state == WORKING] = IDLE
+        if dropped_ids is not None and len(dropped_ids):
+            ids = np.asarray(dropped_ids, dtype=np.int64)
+            self.state[ids] = DROPPED
+            self._drop_until[ids] = round_idx + self.dropped_cooldown
+
+    # -- AvailabilityTrace protocol ----------------------------------------------
+    def survives_round(self, client_ids: np.ndarray) -> np.ndarray:
+        """Mid-round survival draw from the per-client connectivity column."""
+        ids = np.asarray(client_ids, dtype=np.int64)
+        conn = self.connectivity[ids]
+        if np.all(conn >= 1.0):
+            return np.ones(len(ids), dtype=bool)
+        return self._rng.random(len(ids)) < conn
+
+    def burst_survives(
+        self, client_ids: np.ndarray, extra_prob: float
+    ) -> np.ndarray:
+        """Extra dropout draw (legacy context-knob compatibility)."""
+        if extra_prob <= 0.0:
+            return np.ones(len(client_ids), dtype=bool)
+        return self._rng.random(len(client_ids)) >= extra_prob
+
+    def straggler_mask(
+        self, client_ids: np.ndarray, fraction: float
+    ) -> np.ndarray:
+        """Storm-hit draw (legacy context-knob compatibility)."""
+        if fraction <= 0.0:
+            return np.zeros(len(client_ids), dtype=bool)
+        return self._rng.random(len(client_ids)) < fraction
+
+    # -- column reads -------------------------------------------------------------
+    def responsiveness_of(self, client_ids: np.ndarray) -> np.ndarray:
+        """Compute-time multipliers for ``client_ids``."""
+        return self.responsiveness[np.asarray(client_ids, dtype=np.int64)]
+
+    def completeness_of(self, client_ids: np.ndarray) -> np.ndarray:
+        """Work-fraction column for ``client_ids``."""
+        return self.completeness[np.asarray(client_ids, dtype=np.int64)]
+
+    def local_steps_for(
+        self, client_ids: np.ndarray, local_steps: int
+    ) -> np.ndarray:
+        """Realized local steps: ``ceil(completeness · E)``, at least 1."""
+        frac = self.completeness_of(client_ids)
+        steps = np.ceil(frac * local_steps)
+        return np.maximum(1, steps).astype(np.int64)
+
+    def state_counts(self) -> Dict[str, int]:
+        """``{"idle": …, "working": …, "offline": …, "dropped": …}``."""
+        counts = np.bincount(self.state, minlength=4)
+        return {
+            "idle": int(counts[IDLE]),
+            "working": int(counts[WORKING]),
+            "offline": int(counts[OFFLINE]),
+            "dropped": int(counts[DROPPED]),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeviceStatePopulation(n={self.num_clients}, "
+            f"trace={type(self.trace).__name__}, {self.state_counts()})"
+        )

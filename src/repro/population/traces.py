@@ -1,0 +1,317 @@
+"""Device traces: the per-round column rewrites driving a population.
+
+A :class:`DeviceTrace` is the population's behavior model.  It is bound to
+a :class:`~repro.population.population.DeviceStatePopulation` once
+(``bind``), then ``apply(population, round_idx)`` runs exactly once per
+round (the population's ``advance`` guard) and rewrites whichever columns
+the trace owns — ``available`` for plain availability models,
+``connectivity``/``responsiveness`` for churn storms, every column for the
+device-class model.  Traces compose: :class:`ChurnStormTrace` wraps any
+base availability trace and layers burst-round effects on top.
+
+The ``POPULATION_PRESETS`` registry names the scenarios
+``RunConfig.population_preset`` accepts; :func:`build_population` turns a
+preset name plus a config into a ready population (this is also how
+``scheduler="failure"`` gets its storm population).
+
+>>> import numpy as np
+>>> from repro.population.population import DeviceStatePopulation
+>>> storm = ChurnStormTrace(burst_every=3, burst_dropout=1.0,
+...                         straggler_fraction=0.0,
+...                         rng=np.random.default_rng(0))
+>>> pop = DeviceStatePopulation(4, np.random.default_rng(1), storm)
+>>> storm.is_burst(3) and not storm.is_burst(1)
+True
+>>> _ = pop.online(1)
+>>> pop.survives_round(np.array([0, 1])).tolist()   # calm round
+[True, True]
+>>> _ = pop.online(3)
+>>> pop.survives_round(np.array([0, 1])).tolist()   # burst: nobody survives
+[False, False]
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.traces.availability import AvailabilityTrace
+from repro.traces.diurnal import DiurnalAvailabilityTrace
+
+__all__ = [
+    "POPULATION_PRESETS",
+    "DeviceTrace",
+    "StaticTrace",
+    "DutyCycleTrace",
+    "DiurnalTrace",
+    "DeviceClassTrace",
+    "ChurnStormTrace",
+    "ExternalAvailabilityTrace",
+    "build_population",
+]
+
+#: scenario names ``RunConfig.population_preset`` accepts
+POPULATION_PRESETS = ("none", "diurnal", "device-classes", "storm")
+
+
+class DeviceTrace:
+    """Base trace: owns nothing, changes nothing (always-on population)."""
+
+    def bind(self, population) -> None:
+        """One-time column initialization hook (called by the population)."""
+
+    def apply(self, population, round_idx: int) -> None:
+        """Rewrite the population's columns for ``round_idx``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class StaticTrace(DeviceTrace):
+    """No dynamics: the constructor baselines hold for the whole run."""
+
+
+class ExternalAvailabilityTrace(DeviceTrace):
+    """Adapt a classic availability trace (duty-cycle, diurnal, or any
+    user object with ``online(round_idx)``) into a device trace: the
+    wrapped object drives the ``available`` column, everything else keeps
+    its baseline."""
+
+    def __init__(self, trace) -> None:
+        self.trace = trace
+
+    def apply(self, population, round_idx: int) -> None:
+        population.available[:] = self.trace.online(round_idx)
+
+
+class DutyCycleTrace(ExternalAvailabilityTrace):
+    """Per-client duty-cycle availability — the population-column port of
+    :class:`~repro.traces.availability.AvailabilityTrace` (mid-round
+    dropout lives in the population's connectivity column instead)."""
+
+    def __init__(
+        self,
+        num_clients: int,
+        rng: np.random.Generator,
+        mean_on_fraction: float = 0.8,
+        min_period: int = 20,
+        max_period: int = 200,
+    ) -> None:
+        super().__init__(
+            AvailabilityTrace(
+                num_clients,
+                rng,
+                mean_on_fraction=mean_on_fraction,
+                min_period=min_period,
+                max_period=max_period,
+                dropout_prob=0.0,
+            )
+        )
+
+
+class DiurnalTrace(ExternalAvailabilityTrace):
+    """Day/night availability — the population-column port of
+    :class:`~repro.traces.diurnal.DiurnalAvailabilityTrace`."""
+
+    def __init__(
+        self,
+        num_clients: int,
+        rng: np.random.Generator,
+        rounds_per_day: int = 48,
+        window_hours: float = 8.0,
+        jitter_prob: float = 0.05,
+    ) -> None:
+        super().__init__(
+            DiurnalAvailabilityTrace(
+                num_clients,
+                rng,
+                rounds_per_day=rounds_per_day,
+                window_hours=window_hours,
+                jitter_prob=jitter_prob,
+                dropout_prob=0.0,
+            )
+        )
+
+
+class DeviceClassTrace(DeviceTrace):
+    """Phone / tablet / silo device classes (~70 / 20 / 10 % of clients).
+
+    Each class gets its own availability rate, connectivity, completeness,
+    and responsiveness — phones are flaky, slow, and often unable to run
+    the full local workload; silos are datacenter-grade.  Completeness is
+    floored at ``min_completeness`` and responsiveness capped at
+    ``max_responsiveness`` (the ``population_min_completeness`` /
+    ``population_max_responsiveness`` config knobs).
+    """
+
+    #: per-class (share, online_prob, connectivity, completeness,
+    #: responsiveness)
+    CLASSES = (
+        ("phone", 0.7, 0.70, 0.90, 0.6, 2.0),
+        ("tablet", 0.2, 0.80, 0.95, 0.9, 1.3),
+        ("silo", 0.1, 0.995, 1.0, 1.0, 1.0),
+    )
+
+    def __init__(
+        self,
+        num_clients: int,
+        rng: np.random.Generator,
+        *,
+        min_completeness: float = 0.25,
+        max_responsiveness: float = 8.0,
+    ) -> None:
+        shares = np.array([c[1] for c in self.CLASSES])
+        self.class_of = rng.choice(
+            len(self.CLASSES), size=num_clients, p=shares / shares.sum()
+        )
+        self._rng = rng
+        self.min_completeness = min_completeness
+        self.max_responsiveness = max_responsiveness
+
+    def bind(self, population) -> None:
+        online_p = np.array([c[2] for c in self.CLASSES])[self.class_of]
+        conn = np.array([c[3] for c in self.CLASSES])[self.class_of]
+        comp = np.array([c[4] for c in self.CLASSES])[self.class_of]
+        resp = np.array([c[5] for c in self.CLASSES])[self.class_of]
+        self._online_p = online_p
+        population.connectivity[:] = conn
+        population.completeness[:] = np.clip(comp, self.min_completeness, 1.0)
+        population.responsiveness[:] = np.clip(
+            resp, 1.0, self.max_responsiveness
+        )
+
+    def apply(self, population, round_idx: int) -> None:
+        population.available[:] = (
+            self._rng.random(population.num_clients) < self._online_p
+        )
+
+
+class ChurnStormTrace(DeviceTrace):
+    """Periodic churn storms over any base availability trace.
+
+    Every ``burst_every``-th round (rounds are 1-based, so the first storm
+    lands at round ``burst_every`` — round 1 is never a burst unless
+    ``burst_every == 1``) the trace multiplies connectivity by
+    ``1 − burst_dropout`` and slows a ``straggler_fraction`` of clients by
+    ``straggler_slowdown``×; calm rounds restore the population baselines.
+    This is the column-level reimplementation of the old context-knob
+    failure injection, so ``scheduler="failure"`` is now just a population
+    preset.
+    """
+
+    def __init__(
+        self,
+        base: Optional[DeviceTrace] = None,
+        *,
+        burst_every: int = 5,
+        burst_dropout: float = 0.75,
+        straggler_fraction: float = 0.3,
+        straggler_slowdown: float = 4.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if burst_every < 0:
+            raise ValueError("burst_every must be >= 0")
+        self.base = base
+        self.burst_every = burst_every
+        self.burst_dropout = burst_dropout
+        self.straggler_fraction = straggler_fraction
+        self.straggler_slowdown = straggler_slowdown
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def bind(self, population) -> None:
+        if self.base is not None:
+            self.base.bind(population)
+
+    def is_burst(self, round_idx: int) -> bool:
+        """True on storm rounds (``round_idx % burst_every == 0``)."""
+        return bool(self.burst_every) and round_idx % self.burst_every == 0
+
+    def apply(self, population, round_idx: int) -> None:
+        population.connectivity[:] = population.base_connectivity
+        population.responsiveness[:] = population.base_responsiveness
+        if self.base is not None:
+            self.base.apply(population, round_idx)
+        if not self.is_burst(round_idx):
+            return
+        population.connectivity *= 1.0 - self.burst_dropout
+        if self.straggler_fraction >= 1.0:
+            hit = np.ones(population.num_clients, dtype=bool)
+        elif self.straggler_fraction > 0.0:
+            hit = (
+                self._rng.random(population.num_clients)
+                < self.straggler_fraction
+            )
+        else:
+            return
+        population.responsiveness[hit] *= self.straggler_slowdown
+
+
+def build_population(
+    preset: str,
+    num_clients: int,
+    rng: np.random.Generator,
+    *,
+    config,
+):
+    """Build the population ``RunConfig.population_preset`` names.
+
+    The base availability comes from the config's classic availability
+    knobs — an explicit ``availability_trace`` is adapted column-wise,
+    ``always_available`` keeps everyone on, otherwise a duty-cycle trace
+    is drawn — and the preset layers its dynamics on top:
+
+    * ``"none"`` — just the base availability (plus baseline connectivity
+      ``1 − dropout_prob``);
+    * ``"diurnal"`` — day/night windows (:class:`DiurnalTrace`);
+    * ``"device-classes"`` — phone/tablet/silo population
+      (:class:`DeviceClassTrace`);
+    * ``"storm"`` — periodic churn storms over the base availability,
+      parameterized by the ``failure_*`` knobs (:class:`ChurnStormTrace`)
+      — what ``scheduler="failure"`` runs on.
+    """
+    from repro.population.population import DeviceStatePopulation
+
+    if preset not in POPULATION_PRESETS:
+        raise ValueError(
+            f"unknown population preset {preset!r}; "
+            f"expected {POPULATION_PRESETS}"
+        )
+
+    def base_trace() -> Optional[DeviceTrace]:
+        if config.availability_trace is not None:
+            return ExternalAvailabilityTrace(config.availability_trace)
+        if config.always_available:
+            return None
+        return DutyCycleTrace(
+            num_clients, rng, mean_on_fraction=config.mean_on_fraction
+        )
+
+    dropout = 0.0 if config.always_available else config.dropout_prob
+    if preset == "none":
+        trace = base_trace() or StaticTrace()
+    elif preset == "diurnal":
+        trace = DiurnalTrace(num_clients, rng)
+    elif preset == "device-classes":
+        trace = DeviceClassTrace(
+            num_clients,
+            rng,
+            min_completeness=config.population_min_completeness,
+            max_responsiveness=config.population_max_responsiveness,
+        )
+    else:  # "storm"
+        trace = ChurnStormTrace(
+            base_trace(),
+            burst_every=config.failure_burst_every,
+            burst_dropout=config.failure_burst_dropout,
+            straggler_fraction=config.failure_straggler_fraction,
+            straggler_slowdown=config.failure_straggler_slowdown,
+            rng=rng,
+        )
+    return DeviceStatePopulation(
+        num_clients,
+        rng,
+        trace,
+        dropout_prob=dropout,
+        dropped_cooldown=config.population_dropped_cooldown,
+    )

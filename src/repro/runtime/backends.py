@@ -63,6 +63,9 @@ class ClientTask:
     client_id: int
     lr: float
     round_idx: int
+    #: partial-work override: run this many local steps instead of the
+    #: trainer's configured E (device populations with completeness < 1)
+    local_steps: Optional[int] = None
 
 
 @dataclass
@@ -132,12 +135,18 @@ def _run_one(
     global_buffers: np.ndarray,
 ) -> ClientResult:
     """Train one client — the shared inner step of every backend."""
+    # forward the partial-work override only when set, so stubbed trainers
+    # with the classic five-argument signature keep working
+    kwargs = (
+        {} if task.local_steps is None else {"local_steps": task.local_steps}
+    )
     result = trainer.run(
         global_params,
         global_buffers,
         clients[task.client_id],
         task.lr,
         rngs(f"client/{task.client_id}/round/{task.round_idx}"),
+        **kwargs,
     )
     return ClientResult(
         client_id=task.client_id,

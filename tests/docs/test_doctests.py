@@ -42,6 +42,9 @@ DOCUMENTED_MODULES = (
     "repro.fl.samplers",
     "repro.fl.config",
     "repro.utils.rng",
+    "repro.population.population",
+    "repro.population.traces",
+    "repro.datasets.lazy",
 )
 
 #: Example scripts whose module docstrings carry doctests.

@@ -166,6 +166,30 @@ def test_failure_scheduler_records_dropout_rounds(tiny_dataset):
     assert all(r.num_participants == 5 for r in calm)
 
 
+def test_failure_first_burst_lands_at_burst_every(tiny_dataset):
+    """Regression (1-based rounds): the first burst fires at round
+    ``failure_burst_every`` exactly — never at round 1, and there is no
+    phantom "round 0" burst."""
+    cfg = make_config(
+        tiny_dataset,
+        scheduler="failure",
+        failure_burst_every=5,
+        failure_burst_dropout=1.0,
+        failure_straggler_fraction=0.0,
+        skip_empty_rounds=True,
+        rounds=5,
+        always_available=True,
+        dropout_prob=0.0,
+    )
+    result = run_training(cfg)
+    flagged = [r.round_idx for r in result.records if r.injected_failure]
+    assert flagged == [5]
+    # every pre-burst round ran at full strength
+    assert all(
+        r.num_participants == 5 for r in result.records if r.round_idx < 5
+    )
+
+
 def test_failure_scheduler_straggler_storm(tiny_dataset):
     """A 100% straggler storm inflates burst-round compute time ~slowdown×."""
     cfg = make_config(
@@ -268,6 +292,45 @@ def test_config_validates_scheduler_knobs(tiny_dataset):
     cfg = make_config(tiny_dataset, failure_straggler_slowdown=0.5)
     with pytest.raises(ValueError, match="failure_straggler_slowdown"):
         cfg.validate()
+    cfg = make_config(tiny_dataset, failure_burst_every=-1)
+    with pytest.raises(ValueError, match="failure_burst_every"):
+        cfg.validate()
+
+
+def test_config_validates_population_knobs(tiny_dataset):
+    cfg = make_config(tiny_dataset, population_preset="volcano")
+    with pytest.raises(ValueError, match="population_preset"):
+        cfg.validate()
+    cfg = make_config(tiny_dataset, population_min_completeness=0.0)
+    with pytest.raises(ValueError, match="population_min_completeness"):
+        cfg.validate()
+    cfg = make_config(tiny_dataset, population_max_responsiveness=0.5)
+    with pytest.raises(ValueError, match="population_max_responsiveness"):
+        cfg.validate()
+    cfg = make_config(tiny_dataset, population_dropped_cooldown=-1)
+    with pytest.raises(ValueError, match="population_dropped_cooldown"):
+        cfg.validate()
+    # valid presets pass
+    make_config(tiny_dataset, population_preset="device-classes").validate()
+
+
+def test_config_validates_quorum_knobs(tiny_dataset):
+    for bad in (0.0, -0.2, 1.2):
+        cfg = make_config(tiny_dataset, quorum_fraction=bad)
+        with pytest.raises(ValueError, match="quorum_fraction"):
+            cfg.validate()
+    cfg = make_config(tiny_dataset, redraw_max_attempts=-1)
+    with pytest.raises(ValueError, match="redraw_max_attempts"):
+        cfg.validate()
+    cfg = make_config(tiny_dataset, redraw_backoff_s=-1.0)
+    with pytest.raises(ValueError, match="redraw_backoff_s"):
+        cfg.validate()
+    # quorum is a synchronous-cohort concept
+    for sched in ("async", "semiasync"):
+        cfg = make_config(tiny_dataset, scheduler=sched, quorum_fraction=0.5)
+        with pytest.raises(ValueError, match="quorum_fraction"):
+            cfg.validate()
+    make_config(tiny_dataset, quorum_fraction=1.0).validate()
 
 
 # -- strategy round-state pairing --------------------------------------------------

@@ -1,0 +1,205 @@
+"""Unit tests for the vectorized device-state population."""
+
+import numpy as np
+import pytest
+
+from repro.population import (
+    DROPPED,
+    IDLE,
+    OFFLINE,
+    WORKING,
+    ChurnStormTrace,
+    DeviceStatePopulation,
+    ExternalAvailabilityTrace,
+    StaticTrace,
+)
+
+
+def make_pop(n=10, seed=0, **kwargs):
+    return DeviceStatePopulation(n, np.random.default_rng(seed), **kwargs)
+
+
+# -- construction ------------------------------------------------------------------
+
+
+def test_constructor_validates():
+    with pytest.raises(ValueError, match="num_clients"):
+        make_pop(0)
+    with pytest.raises(ValueError, match="dropout_prob"):
+        make_pop(4, dropout_prob=1.0)
+    with pytest.raises(ValueError, match="dropped_cooldown"):
+        make_pop(4, dropped_cooldown=-1)
+
+
+def test_default_population_is_all_idle():
+    pop = make_pop(5)
+    assert isinstance(pop.trace, StaticTrace)
+    assert pop.online(1).all()
+    assert pop.state_counts() == {
+        "idle": 5, "working": 0, "offline": 0, "dropped": 0,
+    }
+    np.testing.assert_array_equal(pop.online_clients(1), np.arange(5))
+
+
+def test_dropout_prob_sets_baseline_connectivity():
+    pop = make_pop(5, dropout_prob=0.3)
+    np.testing.assert_allclose(pop.connectivity, 0.7)
+    np.testing.assert_allclose(pop.base_connectivity, 0.7)
+
+
+# -- state machine -----------------------------------------------------------------
+
+
+def test_working_clients_leave_the_idle_pool():
+    pop = make_pop(4)
+    pop.begin_work(np.array([0, 2]))
+    assert pop.online(1).tolist() == [False, True, False, True]
+    assert pop.state_counts()["working"] == 2
+
+
+def test_finish_round_returns_workers_and_drops_failures():
+    pop = make_pop(4, dropped_cooldown=1)
+    _ = pop.online(1)
+    pop.begin_work(np.array([0, 1]))
+    pop.finish_round(1, dropped_ids=np.array([1]))
+    assert pop.state[0] == IDLE
+    assert pop.state[1] == DROPPED
+    # dropped client sits out round 2, revives at round 3
+    assert pop.online(2).tolist() == [True, False, True, True]
+    assert pop.online(3).tolist() == [True, True, True, True]
+
+
+def test_zero_cooldown_revives_next_round():
+    pop = make_pop(3, dropped_cooldown=0)
+    _ = pop.online(1)
+    pop.begin_work(np.array([0]))
+    pop.finish_round(1, dropped_ids=np.array([0]))
+    assert pop.online(2).tolist() == [True, True, True]
+
+
+def test_advance_is_idempotent_per_round():
+    """Repeated online() calls at one round must not re-draw trace RNG."""
+
+    class CountingTrace(StaticTrace):
+        applies = 0
+
+        def apply(self, population, round_idx):
+            type(self).applies += 1
+
+    pop = make_pop(4, trace=CountingTrace())
+    _ = pop.online(1)
+    _ = pop.online(1)
+    _ = pop.online(1)
+    assert CountingTrace.applies == 1
+    _ = pop.online(2)
+    assert CountingTrace.applies == 2
+
+
+def test_offline_settling_follows_available_column():
+    class HalfOffline(StaticTrace):
+        def apply(self, population, round_idx):
+            population.available[:] = False
+            population.available[::2] = True
+
+    pop = make_pop(6, trace=HalfOffline())
+    assert pop.online(1).tolist() == [True, False] * 3
+    assert pop.state_counts() == {
+        "idle": 3, "working": 0, "offline": 3, "dropped": 0,
+    }
+
+
+def test_working_state_survives_trace_rewrites():
+    """A working device stays WORKING even if its trace marks it offline
+    mid-round — it is already training."""
+
+    class AllOffline(StaticTrace):
+        def apply(self, population, round_idx):
+            population.available[:] = False
+
+    pop = make_pop(3, trace=AllOffline())
+    pop.state[0] = WORKING
+    _ = pop.online(1)
+    assert pop.state[0] == WORKING
+    assert pop.state[1] == OFFLINE
+
+
+# -- availability-trace protocol ----------------------------------------------------
+
+
+def test_survives_round_fast_path_and_draws():
+    pop = make_pop(6)
+    ids = np.arange(6)
+    assert pop.survives_round(ids).all()  # connectivity 1.0: no RNG draw
+    pop.connectivity[:] = 0.0
+    assert not pop.survives_round(ids).any()
+    pop.connectivity[:] = 0.5
+    draws = np.array([pop.survives_round(ids).mean() for _ in range(200)])
+    assert 0.3 < draws.mean() < 0.7
+
+
+def test_burst_survives_and_straggler_mask_edges():
+    pop = make_pop(5)
+    ids = np.arange(5)
+    assert pop.burst_survives(ids, 0.0).all()
+    assert not pop.burst_survives(ids, 1.0).any()
+    assert not pop.straggler_mask(ids, 0.0).any()
+    assert pop.straggler_mask(ids, 1.0).all()
+
+
+# -- column reads ------------------------------------------------------------------
+
+
+def test_local_steps_for_partial_completeness():
+    pop = make_pop(4)
+    pop.completeness[:] = [1.0, 0.5, 0.24, 0.01]
+    steps = pop.local_steps_for(np.arange(4), 10)
+    assert steps.tolist() == [10, 5, 3, 1]  # ceil, floored at 1
+
+
+def test_responsiveness_of_indexes_column():
+    pop = make_pop(4)
+    pop.responsiveness[:] = [1.0, 2.0, 4.0, 8.0]
+    np.testing.assert_allclose(
+        pop.responsiveness_of(np.array([3, 1])), [8.0, 2.0]
+    )
+
+
+# -- trace composition -------------------------------------------------------------
+
+
+def test_churn_storm_restores_baselines_on_calm_rounds():
+    storm = ChurnStormTrace(
+        burst_every=3,
+        burst_dropout=0.9,
+        straggler_fraction=1.0,
+        straggler_slowdown=10.0,
+        rng=np.random.default_rng(0),
+    )
+    pop = make_pop(4, trace=storm, dropout_prob=0.2)
+    _ = pop.online(3)  # burst
+    np.testing.assert_allclose(pop.connectivity, 0.8 * 0.1)
+    np.testing.assert_allclose(pop.responsiveness, 10.0)
+    _ = pop.online(4)  # calm: baselines restored
+    np.testing.assert_allclose(pop.connectivity, 0.8)
+    np.testing.assert_allclose(pop.responsiveness, 1.0)
+
+
+def test_churn_storm_first_burst_is_round_burst_every():
+    storm = ChurnStormTrace(burst_every=5)
+    assert not storm.is_burst(1)
+    assert not storm.is_burst(4)
+    assert storm.is_burst(5)
+    assert storm.is_burst(10)
+    assert not ChurnStormTrace(burst_every=0).is_burst(1)
+
+
+def test_external_availability_trace_drives_available_column():
+    class Alternating:
+        def online(self, round_idx):
+            mask = np.zeros(4, dtype=bool)
+            mask[round_idx % 2 :: 2] = True
+            return mask
+
+    pop = make_pop(4, trace=ExternalAvailabilityTrace(Alternating()))
+    assert pop.online(1).tolist() == [False, True, False, True]
+    assert pop.online(2).tolist() == [True, False, True, False]
