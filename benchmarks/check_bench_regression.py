@@ -12,7 +12,11 @@ Keys present in only one report (e.g. a newly added e2e combo, or the
 ``seed_serial_float64`` baseline that needs ``--seed-src``) are reported
 but never fail the gate; only timings that exist on both sides count.
 Accuracy keys are checked for absolute drift as a sanity net — a perf PR
-should not move what the simulation computes.
+should not move what the simulation computes.  When both reports carry
+``speedup_vs_seed`` (requires ``--seed-src`` at generation time), the
+candidate's ratio must not drop below the baseline's — that is the repo's
+headline perf claim, and losing it fails the gate even if every individual
+timing stayed within tolerance.
 """
 
 from __future__ import annotations
@@ -85,6 +89,21 @@ def compare(
             regressions.append(f"DRIFTED   {line}")
         else:
             notes.append(f"ok        {line}")
+
+    # the headline seed-speedup ratio must never go backwards
+    base_s = baseline.get("speedup_vs_seed")
+    cand_s = candidate.get("speedup_vs_seed")
+    if base_s is not None and cand_s is not None:
+        line = f"speedup_vs_seed: {base_s:.2f}x -> {cand_s:.2f}x"
+        if float(cand_s) < float(base_s):
+            regressions.append(f"REGRESSED {line}")
+        else:
+            notes.append(f"ok        {line}")
+    elif base_s is not None:
+        notes.append(
+            "MISSING   speedup_vs_seed: candidate has no seed baseline "
+            "(regenerate with --seed-src to check the headline ratio)"
+        )
     return regressions, notes
 
 

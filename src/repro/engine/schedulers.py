@@ -397,7 +397,10 @@ class AsyncBufferedScheduler(Scheduler):
             results = server.backend.run_clients(
                 tasks, batch[0].params, batch[0].buffers
             )
-            arrivals.extend(zip(batch, results))
+            # the buffer outlives later run_clients calls in this flush, so
+            # results borrowed from the process backend's ring must be
+            # copied out before the next dispatch reclaims their slots
+            arrivals.extend((job, res.detach()) for job, res in zip(batch, results))
             self._dispatch(server, t)
 
         if not arrivals:
@@ -588,8 +591,10 @@ class SemiAsyncScheduler(Scheduler):
         )
         fast_results = results[: len(fast_ids)]
         for (cid, finish_s), result in zip(stragglers, results[len(fast_ids):]):
+            # straggler results are held across rounds — detach them from
+            # the process backend's result ring before it is reclaimed
             self.clock.schedule(
-                self.clock.now + finish_s, _StaleArrival(cid, t, result)
+                self.clock.now + finish_s, _StaleArrival(cid, t, result.detach())
             )
             self._busy.add(cid)
 

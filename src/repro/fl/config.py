@@ -160,7 +160,19 @@ class RunConfig:
     # runtime policy (repro.runtime)
     execution_backend: str = "serial"  # "serial" | "thread" | "process"
     backend_workers: Optional[int] = None
-    dtype: str = "float64"  # "float64" | "float32"
+    #: "float64" | "float32" | "float16" | "bfloat16" (bfloat16 needs the
+    #: optional ml_dtypes package).  Half-precision runs keep aggregation
+    #: and loss accumulation in float32 (see repro.runtime.dtype)
+    dtype: str = "float64"
+    #: recycle per-step training scratch (im2col, norm/pool temporaries,
+    #: optimizer updates) through per-trainer buffer arenas; bit-identical
+    #: to allocation-per-step, so it defaults on
+    use_arena: bool = True
+    #: thread backend only: train this many clients' mini-batches through
+    #: one vectorized replica with a leading replica axis (see
+    #: repro.runtime.batched).  None disables (the default); changes
+    #: floating-point op order, so it is off for golden-pinned runs
+    batch_replicas: Optional[int] = None
 
     # round scheduling (repro.engine)
     #: round shape: "sync" (Algorithm 1), "async" (FedBuff-style buffered
@@ -290,6 +302,30 @@ class RunConfig:
             raise ValueError(
                 f"unknown dtype {self.dtype!r}; expected {DTYPE_NAMES}"
             )
+        if self.batch_replicas is not None:
+            if self.batch_replicas <= 0:
+                raise ValueError("batch_replicas must be positive (or None)")
+            if self.execution_backend != "thread":
+                raise ValueError(
+                    "batch_replicas vectorizes replicas inside one process; "
+                    "it requires execution_backend='thread' (got "
+                    f"{self.execution_backend!r})"
+                )
+        if self.dtype in ("float16", "bfloat16"):
+            if self.privacy_mode == "gaussian":
+                raise ValueError(
+                    "privacy_mode='gaussian' is incompatible with "
+                    f"dtype={self.dtype!r}: calibrated noise and the RDP "
+                    "accountant assume the mechanism's arithmetic is not "
+                    "dominated by quantization error — run the private "
+                    "path in float32 or float64"
+                )
+            if self.batch_replicas is not None:
+                raise ValueError(
+                    "batch_replicas accumulates many replicas' GEMMs in the "
+                    f"run dtype; {self.dtype!r} loses too much precision "
+                    "there — combine batched replicas with float32/float64"
+                )
         if self.scheduler not in SCHEDULERS:
             raise ValueError(
                 f"unknown scheduler {self.scheduler!r}; expected {SCHEDULERS}"

@@ -3,6 +3,11 @@
 Everything here is vectorized numpy; the only Python loops are over kernel
 taps (``kh * kw`` iterations) in :func:`col2im`, per the scikit-learn
 performance guidance of pushing work into array primitives.
+
+Scratch buffers (the padded input, the col2im accumulator) come from the
+active :mod:`~repro.runtime.arena` when a trainer has one bound, so the
+per-step temporaries of the conv/pool hot loop are recycled instead of
+reallocated; with no arena active the helpers allocate as before.
 """
 
 from __future__ import annotations
@@ -11,14 +16,38 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.runtime.arena import scratch_zeros
+
 __all__ = [
     "conv_out_size",
     "im2col",
+    "pad_nchw",
     "col2im",
+    "matmul_widened",
     "softmax",
     "log_softmax",
     "one_hot",
 ]
+
+
+def matmul_widened(a: np.ndarray, b: np.ndarray, out=None) -> np.ndarray:
+    """``np.matmul`` that upcasts 2-byte operands to float32 for the GEMM.
+
+    NumPy has no half-precision BLAS kernels: a float16 matmul falls back to
+    a software loop that is orders of magnitude slower than the float32 path.
+    For 2-byte dtypes this helper computes the product in float32 (BLAS) and
+    rounds the result back, which also means products accumulate in float32
+    — consistent with the accumulation policy everywhere else in the dtype
+    story (see :mod:`repro.runtime.dtype`).  float32/float64 operands pass
+    straight through to ``np.matmul``, bit-identically.
+    """
+    if np.result_type(a, b).itemsize > 2:
+        return np.matmul(a, b, out=out) if out is not None else np.matmul(a, b)
+    wide = np.matmul(a.astype(np.float32), b.astype(np.float32))
+    if out is not None:
+        np.copyto(out, wide)
+        return out
+    return wide.astype(np.result_type(a, b))
 
 
 def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
@@ -29,6 +58,21 @@ def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
             f"non-positive conv output size: in={size} k={kernel} "
             f"stride={stride} pad={pad}"
         )
+    return out
+
+
+def pad_nchw(x: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad the two spatial axes of an NCHW tensor.
+
+    Equivalent to ``np.pad(x, ((0,0),(0,0),(pad,pad),(pad,pad)))`` but the
+    output buffer comes from the active scratch arena, so the per-step
+    padded copy in the conv hot loop is recycled across steps.
+    """
+    if pad <= 0:
+        return x
+    n, c, h, w = x.shape
+    out = scratch_zeros((n, c, h + 2 * pad, w + 2 * pad), x.dtype)
+    out[:, :, pad : pad + h, pad : pad + w] = x
     return out
 
 
@@ -50,7 +94,7 @@ def im2col(
     if x.ndim != 4:
         raise ValueError(f"im2col expects NCHW input, got shape {x.shape}")
     if pad > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        x = pad_nchw(x, pad)
     n, c, h, w = x.shape
     oh = (h - kh) // stride + 1
     ow = (w - kw) // stride + 1
@@ -85,7 +129,7 @@ def col2im(
     hp, wp = h + 2 * pad, w + 2 * pad
     oh = (hp - kh) // stride + 1
     ow = (wp - kw) // stride + 1
-    x = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    x = scratch_zeros((n, c, hp, wp), cols.dtype)
     for i in range(kh):
         for j in range(kw):
             x[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += (

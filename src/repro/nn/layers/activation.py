@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro.nn.module import Module
+from repro.runtime.arena import scratch_empty
 
 __all__ = ["ReLU", "LeakyReLU", "Sigmoid", "Tanh"]
 
@@ -25,13 +26,19 @@ class ReLU(Module):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = x > 0
-        return np.maximum(x, 0.0)
+        mask = scratch_empty(x.shape, bool)
+        np.greater(x, 0, out=mask)
+        self._mask = mask
+        out = scratch_empty(x.shape, x.dtype)
+        np.maximum(x, 0.0, out=out)
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        return grad_out * self._mask
+        g = scratch_empty(grad_out.shape, grad_out.dtype)
+        np.multiply(grad_out, self._mask, out=g)
+        return g
 
 
 class LeakyReLU(Module):

@@ -18,8 +18,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.nn.functional import col2im, conv_out_size, im2col
+from repro.nn.functional import col2im, conv_out_size, im2col, matmul_widened
 from repro.nn.module import Module, Parameter, kaiming_init
+from repro.runtime.arena import scratch_empty
 
 __all__ = ["Conv2d"]
 
@@ -90,14 +91,18 @@ class Conv2d(Module):
         k, s, p, g = self.kernel_size, self.stride, self.padding, self.groups
         oh = conv_out_size(h, k, s, p)
         ow = conv_out_size(w, k, s, p)
-        # materialize the window view once; every contraction below is BLAS
-        cols = np.ascontiguousarray(im2col(x, k, k, s, p)).reshape(
-            n, g, (c // g) * k * k, oh * ow
-        )
+        # materialize the window view once into arena scratch; every
+        # contraction below is BLAS
+        cols = scratch_empty((n, c, k, k, oh, ow), x.dtype)
+        np.copyto(cols, im2col(x, k, k, s, p))
+        cols = cols.reshape(n, g, (c // g) * k * k, oh * ow)
         self._cols = cols
         self._x_shape = (n, c, h, w)
         # (G, OC/G, CG·k·k) @ (N, G, CG·k·k, L) -> (N, G, OC/G, L)
-        out = np.matmul(self._grouped_weight(), cols)
+        out = scratch_empty(
+            (n, g, self.out_channels // g, oh * ow), x.dtype
+        )
+        matmul_widened(self._grouped_weight(), cols, out=out)
         out = out.reshape(n, self.out_channels, oh, ow)
         if self.bias is not None:
             out += self.bias.data[None, :, None, None]
@@ -110,20 +115,32 @@ class Conv2d(Module):
         k, s, p, g = self.kernel_size, self.stride, self.padding, self.groups
         oh, ow = grad_out.shape[2], grad_out.shape[3]
         cols = self._cols  # (N, G, CG·k·k, L)
-        ggrad = np.ascontiguousarray(grad_out).reshape(
-            n, g, self.out_channels // g, oh * ow
-        )
+        if grad_out.flags.c_contiguous:
+            ggrad = grad_out.reshape(n, g, self.out_channels // g, oh * ow)
+        else:
+            ggrad = scratch_empty(
+                (n, g, self.out_channels // g, oh * ow), grad_out.dtype
+            )
+            np.copyto(ggrad.reshape(grad_out.shape), grad_out)
 
         # dW[g,o,m] = Σ_n ggrad[n,g,o,:] · cols[n,g,m,:]
-        dw = np.matmul(ggrad, cols.swapaxes(-1, -2)).sum(axis=0)
+        m = (c // g) * k * k
+        dw_n = scratch_empty((n, g, self.out_channels // g, m), grad_out.dtype)
+        matmul_widened(ggrad, cols.swapaxes(-1, -2), out=dw_n)
+        dw = dw_n.sum(axis=0)
         self.weight.grad += dw.reshape(self.weight.data.shape)
         if self.bias is not None:
-            self.bias.grad += grad_out.sum(axis=(0, 2, 3))
+            # float32 accumulation for 2-byte dtypes; native otherwise
+            dt = grad_out.dtype
+            acc_dt = np.dtype(np.float32) if dt.itemsize <= 2 else dt
+            self.bias.grad += grad_out.sum(axis=(0, 2, 3), dtype=acc_dt)
 
         # dcols = Wᵀ @ ggrad, broadcast over the (N, G) batch axes
-        dcols = np.matmul(
-            self._grouped_weight().swapaxes(-1, -2), ggrad
-        ).reshape(n, c, k, k, oh, ow)
+        dcols = scratch_empty((n, g, m, oh * ow), grad_out.dtype)
+        matmul_widened(
+            self._grouped_weight().swapaxes(-1, -2), ggrad, out=dcols
+        )
+        dcols = dcols.reshape(n, c, k, k, oh, ow)
         # release the materialized GEMM matrix (k² × input size) so it
         # doesn't stay resident between steps
         self._cols = None

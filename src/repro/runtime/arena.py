@@ -1,0 +1,171 @@
+"""Per-shape buffer arenas for the training hot loop.
+
+Profiling the e2e workload shows the layer stack spends a large share of
+its time in the allocator: every local SGD step re-materializes the same
+im2col matrices, batch-norm scratch, pooling tap buffers, and optimizer
+temporaries, then frees them — at quickstart scale that is thousands of
+short-lived multi-megabyte allocations per round.  A :class:`BufferArena`
+recycles them: buffers are keyed on ``(shape, dtype)``, handed out
+uninitialized (or zero-filled) by :func:`scratch_empty`/:func:`scratch_zeros`,
+and reclaimed *en masse* by :meth:`BufferArena.reset` at a point where the
+caller knows every outstanding buffer is dead — the
+:class:`~repro.fl.client.LocalTrainer` resets once per local step, right
+after ``optimizer.step()``, when no layer cache from the step can be read
+again.
+
+Ownership model
+---------------
+The arena is **not** a general allocator: there is no per-buffer ``free``.
+``take`` hands out each pooled buffer to exactly one consumer between
+resets, ``reset`` returns everything taken since the last reset to the
+per-key free lists, and the caller is responsible for placing resets only
+at points where no taken buffer can be referenced again.  This epoch
+discipline is what makes reuse safe without reference counting.
+
+Thread safety comes from *not sharing*: each trainer owns a private arena
+and activates it on the current thread only (:func:`activate` maintains a
+``threading.local`` stack).  The thread backend hands replicas (and thus
+arenas) to at most one in-flight task at a time, so two concurrent clients
+can never draw from the same pool — pinned by
+``tests/runtime/test_arena.py``.
+
+When no arena is active, the scratch helpers degrade to plain
+``np.empty``/``np.zeros``, so layer code is unconditional and an
+``use_arena=False`` run is allocation-for-allocation the seed behavior.
+Arena reuse is bit-transparent: every consumer fully overwrites (or asks
+for zeros), so arena-on and arena-off runs are bit-identical per seed.
+
+>>> arena = BufferArena()
+>>> with activate(arena):
+...     a = scratch_zeros((4,), "float64")
+...     b = scratch_empty((4,), "float64")
+>>> arena.outstanding
+2
+>>> arena.reset()
+>>> with activate(arena):
+...     c = scratch_empty((4,), "float64")
+>>> c is a or c is b  # recycled, not reallocated
+True
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BufferArena",
+    "activate",
+    "current_arena",
+    "scratch_empty",
+    "scratch_zeros",
+]
+
+
+class BufferArena:
+    """A pool of reusable numpy buffers keyed on ``(shape, dtype)``."""
+
+    def __init__(self) -> None:
+        self._free: Dict[Tuple[Tuple[int, ...], np.dtype], List[np.ndarray]] = {}
+        self._taken: List[Tuple[Tuple[Tuple[int, ...], np.dtype], np.ndarray]] = []
+        #: buffers created because no free one matched (allocation count)
+        self.misses = 0
+        #: buffers served from a free list (reuse count)
+        self.hits = 0
+
+    # -- allocation ----------------------------------------------------------
+    def take(self, shape, dtype) -> np.ndarray:
+        """An **uninitialized** buffer of the given shape/dtype.
+
+        The caller must fully overwrite it before reading.
+        """
+        key = (tuple(shape), np.dtype(dtype))
+        pool = self._free.get(key)
+        if pool:
+            buf = pool.pop()
+            self.hits += 1
+        else:
+            buf = np.empty(key[0], dtype=key[1])
+            self.misses += 1
+        self._taken.append((key, buf))
+        return buf
+
+    def zeros(self, shape, dtype) -> np.ndarray:
+        """A zero-filled buffer of the given shape/dtype."""
+        buf = self.take(shape, dtype)
+        buf.fill(0)
+        return buf
+
+    # -- lifecycle -----------------------------------------------------------
+    def reset(self) -> None:
+        """Return every buffer taken since the last reset to the pools.
+
+        Only call at a point where no taken buffer can be read again (the
+        trainer calls it between local SGD steps).
+        """
+        for key, buf in self._taken:
+            self._free.setdefault(key, []).append(buf)
+        self._taken.clear()
+
+    def clear(self) -> None:
+        """Drop all pooled memory (free lists and outstanding records)."""
+        self._free.clear()
+        self._taken.clear()
+
+    @property
+    def outstanding(self) -> int:
+        """Buffers handed out since the last reset."""
+        return len(self._taken)
+
+    def pooled_bytes(self) -> int:
+        """Total bytes currently parked in the free lists."""
+        return sum(
+            buf.nbytes for pool in self._free.values() for buf in pool
+        )
+
+
+# one active-arena stack per thread: a trainer activates its own arena for
+# the duration of a client's local round, so concurrent workers (thread
+# backend) each resolve scratch calls to their own private pool
+_active = threading.local()
+
+
+def current_arena() -> BufferArena | None:
+    """The arena active on this thread, or ``None``."""
+    stack = getattr(_active, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def activate(arena: BufferArena):
+    """Make ``arena`` the current thread's scratch source for the block."""
+    stack = getattr(_active, "stack", None)
+    if stack is None:
+        stack = _active.stack = []
+    stack.append(arena)
+    try:
+        yield arena
+    finally:
+        stack.pop()
+
+
+def scratch_empty(shape, dtype) -> np.ndarray:
+    """Arena-backed ``np.empty`` (plain allocation when no arena is active).
+
+    The buffer's contents are undefined; callers must fully overwrite.
+    """
+    arena = current_arena()
+    if arena is None:
+        return np.empty(shape, dtype=dtype)
+    return arena.take(shape, dtype)
+
+
+def scratch_zeros(shape, dtype) -> np.ndarray:
+    """Arena-backed ``np.zeros`` (plain allocation when no arena is active)."""
+    arena = current_arena()
+    if arena is None:
+        return np.zeros(shape, dtype=dtype)
+    return arena.zeros(shape, dtype)

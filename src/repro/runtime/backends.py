@@ -30,16 +30,22 @@ import os
 import queue
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.datasets.base import ClientDataset
-from repro.fl.client import LocalTrainer
 from repro.nn.models import build_model
 from repro.nn.module import Module
 from repro.runtime.dtype import cast_model_dtype, resolve_dtype
 from repro.utils.rng import RngFactory
+
+# LocalTrainer is imported lazily inside build_trainer(): repro.fl pulls in
+# this module through repro.fl.server, and compression/nn modules reach the
+# scratch arena through repro.runtime's package init, so a module-level
+# import here would close an import cycle
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fl.client import LocalTrainer
 
 __all__ = [
     "BACKENDS",
@@ -70,11 +76,39 @@ class ClientTask:
 
 @dataclass
 class ClientResult:
-    """One participant's training outcome, as returned by a backend."""
+    """One participant's training outcome, as returned by a backend.
+
+    The process backend returns ``delta``/``buffer_delta`` as **views into
+    a shared-memory result ring** that is reclaimed at the next
+    ``run_clients`` call.  Consumers that hold a result across dispatches
+    (the async arrival buffer, semi-async stragglers) must call
+    :meth:`detach` first; same-round consumption needs no copy.
+    """
 
     client_id: int
     delta: np.ndarray
     buffer_delta: np.ndarray
+    num_samples: int
+    mean_loss: float
+
+    def detach(self) -> "ClientResult":
+        """Copy any borrowed arrays so this result survives the next
+        dispatch.  No-op (no copy) for results that already own their
+        memory, so callers can detach unconditionally."""
+        if self.delta.base is not None:
+            self.delta = self.delta.copy()
+        if self.buffer_delta.base is not None:
+            self.buffer_delta = self.buffer_delta.copy()
+        return self
+
+
+@dataclass
+class _SlotResult:
+    """Wire format for a zero-copy worker return: everything but the
+    arrays, which sit in the worker's claimed ring slot."""
+
+    client_id: int
+    slot: int
     num_samples: int
     mean_loss: float
 
@@ -104,8 +138,19 @@ class WorkerSpec:
     dtype: str = "float64"
     d: int = 0
     num_buffer: int = 0
+    #: recycle per-step scratch through each trainer's private BufferArena
+    use_arena: bool = True
+    #: cap on results a parallel backend may have outstanding at once
+    #: (sizes the process backend's zero-copy result rings); 0 = derive
+    #: from the task count per call
+    max_in_flight: int = 0
+    #: vectorize up to this many clients' local rounds through one batched
+    #: replica (thread backend only); 0 disables the batched path
+    batch_replicas: int = 0
 
-    def build_trainer(self) -> Tuple[Module, LocalTrainer]:
+    def build_trainer(self) -> Tuple[Module, "LocalTrainer"]:
+        from repro.fl.client import LocalTrainer
+
         model = build_model(
             self.model_name,
             in_channels=self.in_channels,
@@ -122,6 +167,7 @@ class WorkerSpec:
             batch_size=self.batch_size,
             momentum=self.momentum,
             weight_decay=self.weight_decay,
+            use_arena=self.use_arena,
         )
         return model, trainer
 
@@ -221,6 +267,16 @@ class ThreadBackend(ExecutionBackend):
     Replicas are handed out through a queue, so at most ``workers`` clients
     train concurrently and no model instance is ever shared between two
     in-flight tasks.
+
+    When ``spec.batch_replicas > 1``, tasks with the same realized
+    ``(local_steps, lr)`` are grouped into chunks of up to that many clients
+    and each chunk trains vectorized through one
+    :class:`~repro.runtime.batched.BatchedReplicaTrainer` (a leading replica
+    axis over the whole layer stack).  Unsupported models fall back to the
+    per-client path at construction time; differing batch *sizes* within a
+    group are padded with masked rows, and only incompatible batch *shapes*
+    (heterogeneous sample features) fall back per group at run time.  Either
+    way results come back in task order.
     """
 
     name = "thread"
@@ -232,9 +288,45 @@ class ThreadBackend(ExecutionBackend):
         for _ in range(self.workers):
             _, trainer = spec.build_trainer()
             self._replicas.put(trainer)
+        self._batched: Optional["queue.SimpleQueue"] = None
+        self.batch_replicas = max(0, int(spec.batch_replicas or 0))
+        if self.batch_replicas > 1:
+            self._batched = self._build_batched_pool()
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-client"
         )
+
+    def _build_batched_pool(self) -> Optional["queue.SimpleQueue"]:
+        import warnings
+
+        from repro.nn.flat import FlatParamView
+        from repro.runtime.batched import (
+            BatchedReplicaTrainer,
+            UnsupportedModelError,
+        )
+
+        pool: "queue.SimpleQueue[BatchedReplicaTrainer]" = queue.SimpleQueue()
+        for i in range(self.workers):
+            model, _ = self.spec.build_trainer()
+            view = FlatParamView(model)
+            try:
+                pool.put(
+                    BatchedReplicaTrainer(
+                        model,
+                        view.num_trainable,
+                        view.num_buffer,
+                        use_arena=self.spec.use_arena,
+                    )
+                )
+            except UnsupportedModelError as exc:
+                warnings.warn(
+                    f"batch_replicas disabled: {exc}; falling back to "
+                    "per-client training",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return None
+        return pool
 
     def _run_task(
         self,
@@ -251,17 +343,94 @@ class ThreadBackend(ExecutionBackend):
         finally:
             self._replicas.put(trainer)
 
+    def _run_group(
+        self,
+        group: Sequence[ClientTask],
+        global_params: np.ndarray,
+        global_buffers: np.ndarray,
+    ) -> List[ClientResult]:
+        from repro.runtime.batched import RaggedBatchError
+
+        trainer = self._batched.get()
+        try:
+            outs = trainer.run_group(
+                group,
+                global_params,
+                global_buffers,
+                self.spec.clients,
+                self.rngs,
+                self.spec.batch_size,
+                self.spec.local_steps,
+                self.spec.momentum,
+                self.spec.weight_decay,
+            )
+        except RaggedBatchError:
+            # a client in the group yields short batches — the whole group
+            # retrains serially (RNG streams are per-call, so no state leaks)
+            return [
+                self._run_task(task, global_params, global_buffers)
+                for task in group
+            ]
+        finally:
+            self._batched.put(trainer)
+        return [
+            ClientResult(
+                client_id=task.client_id,
+                delta=delta,
+                buffer_delta=buffer_delta,
+                num_samples=num_samples,
+                mean_loss=mean_loss,
+            )
+            for task, (delta, buffer_delta, num_samples, mean_loss) in zip(
+                group, outs
+            )
+        ]
+
     def run_clients(
         self,
         tasks: Sequence[ClientTask],
         global_params: np.ndarray,
         global_buffers: np.ndarray,
     ) -> List[ClientResult]:
-        futures = [
-            self._pool.submit(self._run_task, task, global_params, global_buffers)
-            for task in tasks
-        ]
-        return [f.result() for f in futures]
+        if self._batched is None:
+            futures = [
+                self._pool.submit(
+                    self._run_task, task, global_params, global_buffers
+                )
+                for task in tasks
+            ]
+            return [f.result() for f in futures]
+        # group by realized (steps, lr) — differing shard sizes are fine
+        # (the batched trainer pads ragged steps with masked rows) — then
+        # chunk each group to the replica cap, remembering task order
+        grouped: Dict[tuple, List[int]] = {}
+        for i, task in enumerate(tasks):
+            steps = (
+                task.local_steps
+                if task.local_steps is not None
+                else self.spec.local_steps
+            )
+            grouped.setdefault((steps, task.lr), []).append(i)
+        futures = []
+        for indices in grouped.values():
+            for start in range(0, len(indices), self.batch_replicas):
+                chunk = indices[start : start + self.batch_replicas]
+                futures.append(
+                    (
+                        chunk,
+                        self._pool.submit(
+                            self._run_group,
+                            [tasks[i] for i in chunk],
+                            global_params,
+                            global_buffers,
+                        ),
+                    )
+                )
+        results: List[Optional[ClientResult]] = [None] * len(tasks)
+        for chunk, future in futures:
+            for i, res in zip(chunk, future.result()):
+                results[i] = res
+        return results  # type: ignore[return-value]
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
@@ -274,7 +443,13 @@ class ThreadBackend(ExecutionBackend):
 _worker_ctx: Dict[str, Any] = {}
 
 
-def _process_worker_init(spec: WorkerSpec, shm_name: str) -> None:
+def _process_worker_init(
+    spec: WorkerSpec,
+    shm_name: str,
+    res_name: Optional[str] = None,
+    res_capacity: int = 0,
+    res_cursor=None,
+) -> None:
     from multiprocessing import shared_memory
 
     # Workers fork from the parent, so they share its resource tracker:
@@ -291,24 +466,72 @@ def _process_worker_init(spec: WorkerSpec, shm_name: str) -> None:
         buffers=flat[spec.d :],
         trainer=trainer,
         rngs=RngFactory(spec.seed),
+        res_shm=None,
+        res_flat=None,
+        res_capacity=0,
+        res_cursor=None,
     )
+    if res_name is not None:
+        res_shm = shared_memory.SharedMemory(name=res_name)
+        stride = spec.d + spec.num_buffer
+        _worker_ctx.update(
+            res_shm=res_shm,
+            res_flat=np.ndarray(res_capacity * stride, dtype=dt, buffer=res_shm.buf),
+            res_capacity=res_capacity,
+            res_cursor=res_cursor,
+        )
 
 
-def _process_worker_run(task: ClientTask) -> ClientResult:
+def _process_worker_run(task: ClientTask):
     ctx = _worker_ctx
-    return _run_one(
+    result = _run_one(
         ctx["trainer"], ctx["rngs"], ctx["spec"].clients, task,
         ctx["params"], ctx["buffers"],
+    )
+    cursor = ctx["res_cursor"]
+    if cursor is None:
+        return result
+    # claim one ring slot; a full ring (more outstanding results than
+    # max_in_flight budgeted for) degrades to the pickled return path
+    with cursor.get_lock():
+        slot = cursor.value
+        if slot < ctx["res_capacity"]:
+            cursor.value = slot + 1
+        else:
+            slot = -1
+    if slot < 0:
+        return result
+    spec = ctx["spec"]
+    stride = spec.d + spec.num_buffer
+    base = slot * stride
+    res_flat = ctx["res_flat"]
+    res_flat[base : base + spec.d] = result.delta
+    if spec.num_buffer:
+        res_flat[base + spec.d : base + stride] = result.buffer_delta
+    return _SlotResult(
+        client_id=result.client_id,
+        slot=slot,
+        num_samples=result.num_samples,
+        mean_loss=result.mean_loss,
     )
 
 
 class ProcessBackend(ExecutionBackend):
-    """Fork-based process pool with shared-memory parameter shipping.
+    """Fork-based process pool with shared-memory shipping both ways.
 
     Per round the server writes ``global_params``/``global_buffers`` once
     into a shared-memory block sized at setup; workers read it zero-copy.
-    Only the tiny :class:`ClientTask` tuples and the per-client deltas cross
-    the process boundary.
+    Results travel the same way: a second shared-memory block holds a ring
+    of ``max_in_flight`` slots of ``d + num_buffer`` elements each, workers
+    claim slots through a shared cursor and write their deltas in place,
+    and only a tiny slot descriptor crosses the pickle channel.  The parent
+    hands back :class:`ClientResult` objects whose arrays **view** the ring.
+
+    Ownership handoff: each ``run_clients`` call bumps the ring epoch and
+    resets the cursor, reclaiming every slot of the previous dispatch —
+    callers that keep results across dispatches must ``detach()`` them
+    first.  When a dispatch outgrows the ring, the overflow results fall
+    back to the classic pickled return (correct, just slower).
     """
 
     name = "process"
@@ -326,18 +549,51 @@ class ProcessBackend(ExecutionBackend):
 
         self.workers = max(1, workers or os.cpu_count() or 1)
         dt = resolve_dtype(spec.dtype)
-        nbytes = max(1, (spec.d + spec.num_buffer) * dt.itemsize)
-        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
-        self._flat = np.ndarray(
-            spec.d + spec.num_buffer, dtype=dt, buffer=self._shm.buf
-        )
-        ctx = mp.get_context("fork")
-        self._pool = ctx.Pool(
-            processes=self.workers,
-            initializer=_process_worker_init,
-            initargs=(spec, self._shm.name),
-        )
+        self._dtype = dt
+        stride = spec.d + spec.num_buffer
+        self._stride = stride
+        self._shm = None
+        self._res_shm = None
+        self._pool = None
         self._closed = False
+        # everything after the first shm allocation can fail (a second
+        # allocation, pool spawn) — unwind what exists so no segment leaks
+        try:
+            nbytes = max(1, stride * dt.itemsize)
+            self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            self._flat = np.ndarray(stride, dtype=dt, buffer=self._shm.buf)
+
+            ctx = mp.get_context("fork")
+            self._res_capacity = 0
+            self._res_cursor = None
+            self._epoch = 0
+            initargs: tuple = (spec, self._shm.name)
+            if stride > 0:
+                # ring sized by the scheduler's declared in-flight budget
+                # (at least one slot per worker so small direct uses of the
+                # backend still ride the zero-copy path)
+                self._res_capacity = max(spec.max_in_flight, self.workers)
+                self._res_shm = shared_memory.SharedMemory(
+                    create=True,
+                    size=self._res_capacity * stride * dt.itemsize,
+                )
+                self._res = np.ndarray(
+                    self._res_capacity * stride, dtype=dt,
+                    buffer=self._res_shm.buf,
+                )
+                self._res_cursor = ctx.Value("q", 0)
+                initargs = (
+                    spec, self._shm.name, self._res_shm.name,
+                    self._res_capacity, self._res_cursor,
+                )
+            self._pool = ctx.Pool(
+                processes=self.workers,
+                initializer=_process_worker_init,
+                initargs=initargs,
+            )
+        except Exception:
+            self._cleanup_shared()
+            raise
 
     def run_clients(
         self,
@@ -349,21 +605,65 @@ class ProcessBackend(ExecutionBackend):
         self._flat[: spec.d] = global_params
         if spec.num_buffer:
             self._flat[spec.d :] = global_buffers
+        if self._res_cursor is not None:
+            # new epoch: reclaim the previous dispatch's slots (the pool is
+            # idle between map() calls, so no worker races this reset)
+            self._epoch += 1
+            self._res_cursor.value = 0
         # map() preserves task order, so aggregation order matches serial
-        return self._pool.map(_process_worker_run, tasks, chunksize=1)
+        raw = self._pool.map(_process_worker_run, tasks, chunksize=1)
+        d, stride = spec.d, self._stride
+        out: List[ClientResult] = []
+        for r in raw:
+            if isinstance(r, _SlotResult):
+                base = r.slot * stride
+                out.append(
+                    ClientResult(
+                        client_id=r.client_id,
+                        delta=self._res[base : base + d],
+                        buffer_delta=self._res[base + d : base + stride],
+                        num_samples=r.num_samples,
+                        mean_loss=r.mean_loss,
+                    )
+                )
+            else:
+                out.append(r)
+        return out
+
+    def _cleanup_shared(self) -> None:
+        """Close + unlink both segments; tolerates partially-built state."""
+        for attr in ("_flat", "_res"):
+            if hasattr(self, attr):
+                delattr(self, attr)
+        first_error = None
+        for shm in (self._shm, self._res_shm):
+            if shm is None:
+                continue
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double close
+                pass
+            except Exception as exc:  # pragma: no cover - defensive
+                first_error = first_error or exc
+        self._shm = None
+        self._res_shm = None
+        if first_error is not None:
+            raise first_error
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        self._pool.close()
-        self._pool.join()
-        del self._flat
-        self._shm.close()
         try:
-            self._shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - double close
-            pass
+            if self._pool is not None:
+                self._pool.close()
+                self._pool.join()
+        finally:
+            # the segments must be unlinked even if the pool teardown blows
+            # up (e.g. a worker died mid-task) — leaked /dev/shm blocks
+            # outlive the process
+            self._cleanup_shared()
 
     def __del__(self):  # pragma: no cover - belt and suspenders
         try:

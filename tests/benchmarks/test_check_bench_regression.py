@@ -68,3 +68,31 @@ def test_speedup_is_not_a_regression():
     cand = report(micro={"topk_s": 0.5})
     regressions, _ = cbr.compare(base, cand, tolerance=0.25)
     assert regressions == []
+
+
+def test_speedup_vs_seed_floor_fails_when_ratio_drops():
+    base = report()
+    cand = report()
+    base["speedup_vs_seed"] = 5.2
+    cand["speedup_vs_seed"] = 4.9
+    regressions, _ = cbr.compare(base, cand, tolerance=0.25)
+    assert any("speedup_vs_seed" in r for r in regressions)
+
+
+def test_speedup_vs_seed_floor_passes_when_held_or_raised():
+    base = report()
+    base["speedup_vs_seed"] = 5.2
+    for ratio in (5.2, 6.0):
+        cand = report()
+        cand["speedup_vs_seed"] = ratio
+        regressions, notes = cbr.compare(base, cand, tolerance=0.25)
+        assert regressions == []
+        assert any("speedup_vs_seed" in n for n in notes)
+
+
+def test_speedup_vs_seed_missing_in_candidate_is_note():
+    base = report()
+    base["speedup_vs_seed"] = 5.2
+    regressions, notes = cbr.compare(base, report(), tolerance=0.25)
+    assert regressions == []
+    assert any("speedup_vs_seed" in n and "MISSING" in n for n in notes)

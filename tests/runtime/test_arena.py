@@ -1,0 +1,153 @@
+"""Buffer-arena correctness: isolation, reuse discipline, bit-transparency.
+
+The arena swaps allocator traffic for pooled reuse; it must never change a
+single bit of any run (``use_arena`` on/off agree exactly) and must never
+hand the same buffer to two concurrent consumers (thread-backend clients
+each activate a private arena on their own thread).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import make_gluefl
+from repro.fl import RunConfig
+from repro.fl.server import run_training
+from repro.runtime.arena import (
+    BufferArena,
+    activate,
+    current_arena,
+    scratch_empty,
+    scratch_zeros,
+)
+
+
+# -- allocator unit behavior ---------------------------------------------------
+
+
+def test_take_never_aliases_between_resets():
+    """Same-key requests within one epoch get distinct buffers."""
+    arena = BufferArena()
+    with activate(arena):
+        bufs = [scratch_empty((64,), "float64") for _ in range(8)]
+    addrs = {b.__array_interface__["data"][0] for b in bufs}
+    assert len(addrs) == len(bufs)
+    arena.reset()
+    # after reset the same storage is recycled rather than re-allocated
+    with activate(arena):
+        again = [scratch_empty((64,), "float64") for _ in range(8)]
+    assert {b.__array_interface__["data"][0] for b in again} == addrs
+    assert arena.hits == 8 and arena.misses == 8
+
+
+def test_scratch_zeros_zero_fills_recycled_buffers():
+    arena = BufferArena()
+    with activate(arena):
+        a = scratch_empty((16,), "float64")
+        a.fill(7.0)
+    arena.reset()
+    with activate(arena):
+        b = scratch_zeros((16,), "float64")
+    assert b is a  # recycled storage ...
+    np.testing.assert_array_equal(b, 0.0)  # ... but zero-filled
+
+
+def test_activation_is_thread_local():
+    """An arena activated on one thread is invisible to another."""
+    arena = BufferArena()
+    seen = {}
+
+    def probe():
+        seen["other"] = current_arena()
+
+    with activate(arena):
+        t = threading.Thread(target=probe)
+        t.start()
+        t.join()
+        seen["self"] = current_arena()
+    assert seen["self"] is arena
+    assert seen["other"] is None
+
+
+def test_concurrent_arenas_never_share_storage():
+    """Two threads drawing identical keys from private arenas never alias.
+
+    This is the property the thread backend relies on: each in-flight
+    client activates its own arena, so pooled reuse cannot cross clients.
+    """
+    shapes = [(32, 32), (8, 4, 4), (128,)]
+    results = {}
+    barrier = threading.Barrier(2)
+
+    def worker(name):
+        arena = BufferArena()
+        addrs = set()
+        with activate(arena):
+            barrier.wait()
+            for _ in range(20):
+                for shape in shapes:
+                    buf = scratch_empty(shape, "float64")
+                    addrs.add(buf.__array_interface__["data"][0])
+                arena.reset()
+        results[name] = addrs
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not (results[0] & results[1])
+
+
+def test_no_arena_degrades_to_plain_numpy():
+    assert current_arena() is None
+    a = scratch_empty((4,), "float32")
+    z = scratch_zeros((4,), "float32")
+    assert a.shape == (4,) and z.shape == (4,)
+    np.testing.assert_array_equal(z, 0.0)
+
+
+# -- end-to-end bit-transparency -----------------------------------------------
+
+
+def _config(tiny_dataset, **overrides):
+    strategy, sampler = make_gluefl(6, q=0.3, q_shr=0.15, regen_interval=3)
+    base = dict(
+        dataset=tiny_dataset,
+        model_name="cnn",
+        model_kwargs={"widths": (4,)},
+        strategy=strategy,
+        sampler=sampler,
+        rounds=3,
+        local_steps=2,
+        batch_size=8,
+        seed=11,
+        eval_every=2,
+        dtype="float32",
+    )
+    base.update(overrides)
+    return RunConfig(**base)
+
+
+def _fingerprint(result):
+    return [
+        (r.round_idx, r.train_loss, r.accuracy, r.up_bytes, r.down_bytes)
+        for r in result.records
+    ]
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread"])
+def test_arena_on_off_bit_identical(tiny_dataset, backend):
+    """Pooled reuse must not perturb a single bit of the trajectory."""
+    on = run_training(
+        _config(tiny_dataset, use_arena=True, execution_backend=backend)
+    )
+    off = run_training(
+        _config(tiny_dataset, use_arena=False, execution_backend=backend)
+    )
+    assert _fingerprint(on) == _fingerprint(off)

@@ -1,0 +1,214 @@
+"""Batched replica training: serial agreement, padding, and fallbacks.
+
+The batched path (``RunConfig.batch_replicas``) reorders floating-point
+reductions (one-pass batch-norm statistics, sum-form input gradients), so
+it is *not* bit-identical to the serial trainer — agreement is pinned to
+tight tolerances instead, and the golden-pinned configurations keep the
+flag off.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import make_gluefl
+from repro.fl import RunConfig
+from repro.fl.server import run_training
+from repro.nn import MLP
+from repro.nn.flat import FlatParamView
+from repro.nn.layers import Dropout, Linear, ReLU
+from repro.nn.module import Sequential
+from repro.runtime import ClientTask
+from repro.runtime.batched import (
+    BatchedReplicaTrainer,
+    RaggedBatchError,
+    UnsupportedModelError,
+)
+
+
+def _config(tiny_dataset, model="mlp", **overrides):
+    strategy, sampler = make_gluefl(6, q=0.3, q_shr=0.15, regen_interval=3)
+    base = dict(
+        dataset=tiny_dataset,
+        model_name=model,
+        model_kwargs={"hidden": (16,)} if model == "mlp" else {"widths": (4,)},
+        strategy=strategy,
+        sampler=sampler,
+        rounds=3,
+        local_steps=3,
+        batch_size=8,
+        seed=11,
+        eval_every=2,
+        dtype="float32",
+    )
+    base.update(overrides)
+    return RunConfig(**base)
+
+
+def _batched_overrides(replicas=6):
+    return dict(
+        execution_backend="thread", backend_workers=1, batch_replicas=replicas
+    )
+
+
+@pytest.mark.parametrize("model", ["mlp", "cnn"])
+def test_batched_matches_serial_within_tolerance(tiny_dataset, model):
+    """Same seeds, same data: losses agree to accumulation-order noise.
+
+    ``tiny_dataset`` has ragged shard sizes (Dirichlet split), so with
+    ``batch_size=8`` this exercises the masked-padding path too.
+    """
+    serial = run_training(_config(tiny_dataset, model))
+    batched = run_training(
+        _config(tiny_dataset, model, **_batched_overrides())
+    )
+    ls = serial.series("train_loss")
+    lb = batched.series("train_loss")
+    np.testing.assert_allclose(lb, ls, rtol=0, atol=1e-5)
+    # the tolerance is far below any decision boundary at these scales
+    assert list(serial.series("accuracy")) == list(batched.series("accuracy"))
+    assert serial.series("up_bytes").tolist() == batched.series("up_bytes").tolist()
+
+
+def test_stack_batches_pads_ragged_groups(tiny_dataset):
+    """Shorter batches pad with zero rows; the mask marks the real ones."""
+    clients = tiny_dataset.clients
+    sizes = {cid: len(clients[cid]) for cid in range(len(clients))}
+    small = min(sizes, key=sizes.get)
+    big = max(sizes, key=sizes.get)
+    assert sizes[small] < 8 <= sizes[big], "fixture should be ragged"
+
+    from repro.utils.rng import RngFactory
+
+    rngs = RngFactory(3)
+    tasks = [
+        ClientTask(client_id=small, lr=0.05, round_idx=1),
+        ClientTask(client_id=big, lr=0.05, round_idx=1),
+    ]
+    stacked = BatchedReplicaTrainer._stack_batches(
+        tasks, clients, rngs, batch_size=8, steps=2
+    )
+    assert len(stacked) == 2
+    for xs, ys, mask in stacked:
+        assert mask is not None
+        n_small = sizes[small]
+        assert mask[0].sum() == n_small
+        assert mask[1].sum() == 8
+        # padded rows are exactly zero
+        np.testing.assert_array_equal(xs[0, n_small:], 0.0)
+        assert xs.shape[0] == 2 and xs.shape[1] == 8
+
+
+def test_stack_batches_uniform_groups_skip_mask(tiny_dataset):
+    """Equal batch sizes take the unmasked fast path (mask is None)."""
+    clients = tiny_dataset.clients
+    cids = [cid for cid in range(len(clients)) if len(clients[cid]) >= 8][:3]
+    from repro.utils.rng import RngFactory
+
+    tasks = [ClientTask(client_id=c, lr=0.05, round_idx=0) for c in cids]
+    stacked = BatchedReplicaTrainer._stack_batches(
+        tasks, clients, RngFactory(3), batch_size=8, steps=2
+    )
+    assert all(mask is None for _, _, mask in stacked)
+
+
+def test_incompatible_feature_shapes_raise_ragged_error():
+    """Heterogeneous sample shapes cannot be padded — they raise."""
+
+    class _Shard:
+        def __init__(self, shape):
+            self.shape = shape
+
+        def __len__(self):
+            return 8
+
+        def batches(self, batch_size, rng, num_batches):
+            for _ in range(num_batches):
+                yield (
+                    np.zeros((batch_size,) + self.shape),
+                    np.zeros(batch_size, dtype=np.int64),
+                )
+
+    clients = {0: _Shard((1, 8, 8)), 1: _Shard((1, 6, 6))}
+    from repro.utils.rng import RngFactory
+
+    tasks = [ClientTask(client_id=c, lr=0.05, round_idx=0) for c in (0, 1)]
+    with pytest.raises(RaggedBatchError):
+        BatchedReplicaTrainer._stack_batches(
+            tasks, clients, RngFactory(0), batch_size=8, steps=1
+        )
+
+
+def test_unsupported_model_raises():
+    """Dropout (per-replica RNG) has no batched implementation."""
+    rng = np.random.default_rng(0)
+    model = Sequential(
+        Linear(16, 8, rng=rng), ReLU(), Dropout(0.5), Linear(8, 4, rng=rng)
+    )
+    view = FlatParamView(model)
+    with pytest.raises(UnsupportedModelError):
+        BatchedReplicaTrainer(model, view.num_trainable, view.num_buffer)
+
+
+def test_unsupported_model_falls_back_with_warning(tiny_dataset):
+    """The thread backend degrades to per-client training and warns.
+
+    ``ResNetLite`` branches (ResidualAdd), so the batched compiler rejects
+    it at pool-construction time.
+    """
+    kwargs = {"stage_widths": (4,), "stage_repeats": (1,), "stem_channels": 4}
+    cfg = _config(
+        tiny_dataset, "cnn", rounds=2, **_batched_overrides()
+    )
+    cfg.model_name = "resnet"
+    cfg.model_kwargs = kwargs
+    serial_cfg = _config(tiny_dataset, "cnn", rounds=2)
+    serial_cfg.model_name = "resnet"
+    serial_cfg.model_kwargs = kwargs
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        batched = run_training(cfg)
+    assert any(
+        issubclass(w.category, RuntimeWarning)
+        and "batch_replicas disabled" in str(w.message)
+        for w in caught
+    )
+    serial = run_training(serial_cfg)
+    # fallback is the plain per-client thread path: bit-identical to serial
+    np.testing.assert_array_equal(
+        serial.series("train_loss"), batched.series("train_loss")
+    )
+
+
+def test_config_rejects_bad_batch_replica_combos(tiny_dataset):
+    with pytest.raises(ValueError, match="batch_replicas"):
+        _config(tiny_dataset, batch_replicas=4).validate()  # serial backend
+    with pytest.raises(ValueError, match="batch_replicas"):
+        _config(
+            tiny_dataset,
+            dtype="float16",
+            **_batched_overrides(4),
+        ).validate()
+    with pytest.raises(ValueError, match="batch_replicas must be positive"):
+        _config(tiny_dataset, **_batched_overrides(0)).validate()
+
+
+def test_first_op_skips_input_gradient(rng):
+    """The first conv's dx is dead — the trainer marks it skippable."""
+    from repro.nn.models.cnn import SimpleCNN
+
+    model = SimpleCNN(in_channels=1, num_classes=4, rng=rng)
+    view = FlatParamView(model)
+    trainer = BatchedReplicaTrainer(
+        model, view.num_trainable, view.num_buffer
+    )
+    from repro.runtime.batched import _BatchedConv
+
+    assert isinstance(trainer.ops[0], _BatchedConv)
+    assert trainer.ops[0].skip_dx is True
+    assert not any(
+        getattr(op, "skip_dx", False) for op in trainer.ops[1:]
+    )
