@@ -1,0 +1,83 @@
+"""CLI for the invariant lint pass.
+
+Usage::
+
+    python -m repro.analysis [paths ...] [--rule RULE]... [--format text|json]
+    python -m repro.analysis --list-rules
+
+With no paths, ``src/repro`` (resolved relative to the current
+directory, falling back to this checkout's own tree) is scanned.  Exits
+1 when any finding survives waivers, 0 on a clean tree — CI runs it as a
+required job next to tier-1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.core import CHECKERS, all_rules, analyze_paths
+
+
+def _default_paths() -> List[str]:
+    cwd_tree = Path("src/repro")
+    if cwd_tree.is_dir():
+        return [str(cwd_tree)]
+    return [str(Path(__file__).resolve().parents[1])]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis", description=__doc__
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories (default: src/repro)"
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule:20s} {CHECKERS[rule].description}")
+        return 0
+
+    paths = args.paths or _default_paths()
+    try:
+        findings = analyze_paths(paths, rules=args.rules)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if args.format == "json":
+        print(json.dumps([asdict(f) for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.format())
+        scanned = ", ".join(paths)
+        if findings:
+            print(
+                f"\n{len(findings)} finding(s) in {scanned} — fix, or waive "
+                "in place with '# repro: allow[rule] -- justification'"
+            )
+        else:
+            print(f"{scanned}: clean ({len(all_rules())} rules)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""Rule ``arena-escape``: scratch buffers must die before ``reset()``.
+
+:func:`repro.runtime.arena.scratch_empty` / ``scratch_zeros`` hand out
+pooled buffers that are recycled *wholesale* at the owner's next
+``BufferArena.reset()`` — the trainer calls it after every local step.
+A scratch buffer that escapes the step (returned to a caller that holds
+it, yielded from a generator that resumes later, or stored on ``self``)
+aliases whatever the pool hands out next: silent corruption, the exact
+class of bug the zero-copy machinery makes possible.
+
+The check is flow-insensitive: any name bound to a scratch call in a
+function body is treated as scratch everywhere in that function, and
+view chains (``return buf[2:]``) count as escapes while explicit copies
+(``return buf.copy()``) break the chain.  The layer stack *intentionally*
+returns scratch to its per-step caller (activations/grads consumed
+before the reset) — those modules carry file-level waivers saying so.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.core import Checker, Finding, SourceFile, register
+
+__all__ = ["ArenaEscapeChecker"]
+
+SCRATCH_FNS = {"scratch_empty", "scratch_zeros"}
+
+
+def _is_scratch_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in SCRATCH_FNS
+    if isinstance(func, ast.Attribute):
+        return func.attr in SCRATCH_FNS
+    return False
+
+
+def _chain_root(node: ast.AST) -> ast.AST:
+    """Peel view-preserving wrappers (subscripts, attribute chains)."""
+    while isinstance(node, (ast.Subscript, ast.Attribute, ast.Starred)):
+        node = node.value
+    return node
+
+
+def _escapes(value: ast.AST, tracked: Set[str]) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, ast.Tuple):
+        return any(_escapes(elt, tracked) for elt in value.elts)
+    root = _chain_root(value)
+    if _is_scratch_call(root):
+        return True
+    return isinstance(root, ast.Name) and root.id in tracked
+
+
+class _FunctionScan(ast.NodeVisitor):
+    """Collects scratch-bound names and escape sites for one function."""
+
+    def __init__(self) -> None:
+        self.tracked: Set[str] = set()
+        self.escapes: List[ast.AST] = []
+        self._self_stores: List[ast.AST] = []
+
+    # do not descend into nested function/class scopes
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_scratch_call(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.tracked.add(target.id)
+                elif (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    self._self_stores.append(node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and _is_scratch_call(node.value):
+            if isinstance(node.target, ast.Name):
+                self.tracked.add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        self.escapes.append(node)
+        self.generic_visit(node)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        self.escapes.append(node)
+        self.generic_visit(node)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self.escapes.append(node)
+        self.generic_visit(node)
+
+
+@register
+class ArenaEscapeChecker(Checker):
+    rule = "arena-escape"
+    description = (
+        "scratch_empty/scratch_zeros buffers must not be returned, "
+        "yielded, or stored on self — they are recycled at reset()"
+    )
+    hint = (
+        "copy before escaping (buf.copy()), allocate with np.empty/np.zeros "
+        "if the buffer outlives the step, or waive with the documented "
+        "intra-step-handoff justification"
+    )
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for fn in ast.walk(source.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            scan = _FunctionScan()
+            for stmt in fn.body:
+                scan.visit(stmt)
+            # no early-out on empty `tracked`: a direct
+            # `return scratch_empty(...)` escapes without ever being named
+            for node in scan._self_stores:
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        "scratch buffer stored on self — it outlives the "
+                        "arena epoch and aliases the next take()",
+                    )
+                )
+            for node in scan.escapes:
+                value = getattr(node, "value", None)
+                if _escapes(value, scan.tracked):
+                    verb = "returned" if isinstance(node, ast.Return) else "yielded"
+                    findings.append(
+                        self.finding(
+                            source,
+                            node,
+                            f"scratch buffer (or a view of one) {verb} out "
+                            "of the function that took it",
+                        )
+                    )
+            # self.attr = tracked_name later in the body
+            for stmt in ast.walk(fn):
+                if isinstance(stmt, ast.Assign) and not _is_scratch_call(
+                    stmt.value
+                ):
+                    for target in stmt.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and _escapes(stmt.value, scan.tracked)
+                        ):
+                            findings.append(
+                                self.finding(
+                                    source,
+                                    stmt,
+                                    "scratch buffer stored on self — it "
+                                    "outlives the arena epoch and aliases "
+                                    "the next take()",
+                                )
+                            )
+        return findings

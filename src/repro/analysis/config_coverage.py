@@ -1,0 +1,123 @@
+"""Rule ``config-coverage``: every ``RunConfig`` knob is validated and documented.
+
+A config field that ``validate()`` never looks at can hold garbage until
+deep inside a run (or silently do nothing — the repo's validation style
+explicitly rejects set-but-ignored knobs), and a field no document
+mentions is a capability users can't find.  This rule cross-checks the
+three surfaces: each dataclass field of ``RunConfig`` must be referenced
+in ``validate()`` (a range check, a compatibility check, or a type
+check) *and* be mentioned in the README or a ``docs/*.md`` page.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    SourceFile,
+    find_repo_root,
+    register,
+)
+
+__all__ = ["ConfigCoverageChecker"]
+
+
+def _find_class(tree: ast.AST, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+@register
+class ConfigCoverageChecker(Checker):
+    rule = "config-coverage"
+    description = (
+        "every RunConfig field must be referenced in validate() and "
+        "mentioned in README.md or docs/*.md"
+    )
+    hint = (
+        "add a check (or an explicit type assertion) to RunConfig.validate "
+        "and a row to the config reference in docs/"
+    )
+
+    #: the class this rule cross-checks (tests point it at fixtures)
+    config_class = "RunConfig"
+
+    def applies_to(self, path: str) -> bool:
+        return path.endswith("config.py")
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        cls = _find_class(source.tree, self.config_class)
+        if cls is None:
+            return []
+        fields = [
+            (node.target.id, node)
+            for node in cls.body
+            if isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+        ]
+        validate = next(
+            (
+                node
+                for node in cls.body
+                if isinstance(node, ast.FunctionDef) and node.name == "validate"
+            ),
+            None,
+        )
+        validate_src = (
+            ast.get_source_segment(source.text, validate) or ""
+            if validate is not None
+            else ""
+        )
+        docs_text = self._docs_text(source)
+
+        findings: List[Finding] = []
+        for name, node in fields:
+            if validate is None or not re.search(
+                rf"\b{re.escape(name)}\b", validate_src
+            ):
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"{self.config_class}.{name} is never referenced in "
+                        "validate() — an out-of-range or ignored value "
+                        "survives until deep in the run",
+                    )
+                )
+            if docs_text is not None and not re.search(
+                rf"\b{re.escape(name)}\b", docs_text
+            ):
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"{self.config_class}.{name} is not mentioned in "
+                        "README.md or docs/*.md",
+                        hint="add it to the RunConfig reference table in "
+                        "docs/architecture.md (or the README capability "
+                        "matrix)",
+                    )
+                )
+        return findings
+
+    def _docs_text(self, source: SourceFile) -> Optional[str]:
+        """README + docs corpus, or ``None`` when no repo root is found
+        (in-memory fixtures check only the validate() half)."""
+        root = find_repo_root(Path(source.path).resolve())
+        if root is None:
+            return None
+        chunks = []
+        readme = root / "README.md"
+        if readme.exists():
+            chunks.append(readme.read_text())
+        docs = root / "docs"
+        if docs.is_dir():
+            chunks.extend(p.read_text() for p in sorted(docs.rglob("*.md")))
+        return "\n".join(chunks) if chunks else None

@@ -1,0 +1,140 @@
+"""Rule ``determinism``: one clock, one RNG fan-out.
+
+GlueFL's reproduction rests on bit-identical rounds (goldens pin the
+sync round byte for byte), which makes any ambient nondeterminism a
+correctness bug: wall-clock reads would leak host time into simulated
+timing, and module-level / unseeded RNG draws would decouple a run from
+its seed.  The two sanctioned seams are :mod:`repro.engine.clock`
+(``SimClock`` is the single time authority) and :mod:`repro.utils.rng`
+(every generator derives from the root seed via a stable stream name) —
+those two modules are exempt; everything else is checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.core import Checker, Finding, SourceFile, register
+from repro.analysis.names import ImportMap
+
+__all__ = ["DeterminismChecker"]
+
+#: the sanctioned seams (path suffixes, ``/``-normalized)
+EXEMPT_SUFFIXES = (
+    "repro/engine/clock.py",
+    "repro/utils/rng.py",
+)
+
+#: wall-clock reads — simulated time must come from SimClock
+WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: numpy.random names that are fine *when seeded* (checked per call)
+SEEDED_CONSTRUCTORS = {"numpy.random.default_rng", "numpy.random.RandomState"}
+
+#: numpy.random names that are never flagged (types/bit generators used
+#: in annotations and isinstance checks, and seed-derivation machinery)
+RNG_TYPES = {
+    "numpy.random.Generator",
+    "numpy.random.BitGenerator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "numpy.random.MT19937",
+}
+
+
+@register
+class DeterminismChecker(Checker):
+    rule = "determinism"
+    description = (
+        "forbid wall-clock reads and module-level / unseeded RNG outside "
+        "the SimClock and RngFactory seams"
+    )
+    hint = (
+        "take time from repro.engine.clock.SimClock and randomness from a "
+        "named stream (repro.utils.rng.child_rng / RngFactory)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return not path.endswith(EXEMPT_SUFFIXES)
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        imports = ImportMap(source.tree)
+        imported_roots = {
+            target.split(".")[0] for target in imports.aliases.values()
+        }
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = imports.resolve(node.func)
+            if name is None:
+                continue
+            if name in WALL_CLOCK:
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"wall-clock call {name}() — simulated runs must "
+                        "not read host time",
+                        hint="route timing through SimClock "
+                        "(repro.engine.clock); RoundRecord.wall_clock_s "
+                        "is the time authority",
+                    )
+                )
+            elif name in SEEDED_CONSTRUCTORS:
+                if _unseeded(node):
+                    findings.append(
+                        self.finding(
+                            source,
+                            node,
+                            f"{name}() without a seed draws from OS "
+                            "entropy — the run is no longer a function of "
+                            "its seed",
+                        )
+                    )
+            elif name.startswith("numpy.random.") and name not in RNG_TYPES:
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"module-level numpy RNG call {name}() mutates or "
+                        "reads numpy's hidden global state",
+                    )
+                )
+            elif (
+                name.startswith("random.")
+                and "random" in imported_roots
+                and name.count(".") == 1
+            ):
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"stdlib global-state RNG call {name}()",
+                    )
+                )
+        return findings
+
+
+def _unseeded(call: ast.Call) -> bool:
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for kw in call.keywords:
+        if kw.arg in ("seed", None):
+            return isinstance(kw.value, ast.Constant) and kw.value.value is None
+    return True

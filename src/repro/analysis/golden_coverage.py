@@ -1,0 +1,123 @@
+"""Rule ``golden-coverage``: every scheduler ships golden-pinned.
+
+The scheduler registry (``SCHEDULERS`` in ``repro.engine.schedulers``)
+is the repo's bit-identity surface: each round shape is pinned by a
+``tests/engine/golden_<name>.json`` fixture plus a regen entry point, so
+a semantic change shows up as a golden diff and an intentional change
+has a documented regeneration path.  A scheduler added without its
+golden is exactly the drift this pass exists to catch before it ships.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    SourceFile,
+    find_repo_root,
+    register,
+)
+
+__all__ = ["GoldenCoverageChecker"]
+
+
+def _schedulers_assignment(tree: ast.AST) -> Optional[ast.Assign]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "SCHEDULERS":
+                    return node
+    return None
+
+
+def _literal_names(node: ast.AST) -> Optional[Sequence[str]]:
+    if isinstance(node, (ast.Tuple, ast.List)) and all(
+        isinstance(e, ast.Constant) and isinstance(e.value, str)
+        for e in node.elts
+    ):
+        return [e.value for e in node.elts]
+    return None
+
+
+@register
+class GoldenCoverageChecker(Checker):
+    rule = "golden-coverage"
+    description = (
+        "every key in SCHEDULERS needs tests/engine/golden_<name>.json "
+        "plus a test referencing it with a --regen path"
+    )
+    hint = (
+        "pin the new scheduler: capture its record stream to "
+        "tests/engine/golden_<name>.json and reference it from a golden "
+        "test with a --regen entry point (see test_semiasync_golden.py)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path.endswith("schedulers.py")
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        assign = _schedulers_assignment(source.tree)
+        if assign is None:
+            return []
+        names = _literal_names(assign.value)
+        if names is None:
+            return [
+                self.finding(
+                    source,
+                    assign,
+                    "SCHEDULERS is not a literal tuple of names — the "
+                    "golden-coverage cross-check cannot read it",
+                    hint="keep SCHEDULERS a plain tuple of string literals",
+                )
+            ]
+        root = find_repo_root(Path(source.path).resolve())
+        if root is None:
+            return []
+        engine_tests = root / "tests" / "engine"
+        test_corpus = {
+            p.name: p.read_text()
+            for p in sorted(engine_tests.glob("*.py"))
+        } if engine_tests.is_dir() else {}
+
+        findings: List[Finding] = []
+        for name in names:
+            golden = engine_tests / f"golden_{name}.json"
+            if not golden.exists():
+                findings.append(
+                    self.finding(
+                        source,
+                        assign,
+                        f"scheduler {name!r} has no golden fixture "
+                        f"(expected tests/engine/golden_{name}.json)",
+                    )
+                )
+                continue
+            referring = [
+                fname
+                for fname, text in test_corpus.items()
+                if f"golden_{name}.json" in text
+            ]
+            if not referring:
+                findings.append(
+                    self.finding(
+                        source,
+                        assign,
+                        f"golden_{name}.json exists but no test in "
+                        "tests/engine references it — the pin is dead",
+                    )
+                )
+            elif not any("regen" in test_corpus[f] for f in referring):
+                findings.append(
+                    self.finding(
+                        source,
+                        assign,
+                        f"no test referencing golden_{name}.json offers a "
+                        "--regen path; intentional semantic changes need a "
+                        "documented regeneration entry point",
+                    )
+                )
+        return findings

@@ -1,0 +1,61 @@
+"""Dotted-name resolution against a module's import table.
+
+Call-site checkers need to know what ``np.random.rand`` *is*, not what it
+is spelled as: ``import numpy as np``, ``import numpy.random as npr``,
+and ``from numpy import random`` all reach the same module.  An
+:class:`ImportMap` built from a module's import statements canonicalizes
+call names back to their fully-qualified form so rules match the target,
+not the alias.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+__all__ = ["ImportMap", "dotted_name"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Maps local spellings to canonical dotted module/object names."""
+
+    def __init__(self, tree: ast.AST):
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of a call target, or ``None``.
+
+        The first segment is looked up in the import table; unknown roots
+        pass through unchanged (locals shadowing imports are rare enough
+        that a lint pass need not model scopes).
+        """
+        name = dotted_name(node)
+        if name is None:
+            return None
+        root, _, rest = name.partition(".")
+        canonical = self.aliases.get(root, root)
+        return f"{canonical}.{rest}" if rest else canonical

@@ -69,10 +69,10 @@ class APFStrategy(CompressionStrategy):
         self.max_period = max_period
         self.ema = ema
         self.warmup_rounds = warmup_rounds
-        self._frozen_until: np.ndarray = np.zeros(0)
-        self._freeze_len: np.ndarray = np.zeros(0)
-        self._ema_delta: np.ndarray = np.zeros(0)
-        self._ema_abs: np.ndarray = np.zeros(0)
+        self._frozen_until: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._freeze_len: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._ema_delta: np.ndarray = np.zeros(0, dtype=np.float64)
+        self._ema_abs: np.ndarray = np.zeros(0, dtype=np.float64)
         self._round: int = 0
 
     def setup(self, d: int, rng: np.random.Generator, dtype=np.float64) -> None:

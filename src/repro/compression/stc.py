@@ -70,7 +70,7 @@ class STCStrategy(CompressionStrategy):
         self.residuals = ResidualStore(error_comp)
         self.server_residual = server_residual
         self._k: int = 0
-        self._server_h: np.ndarray = np.zeros(0)
+        self._server_h: np.ndarray = np.zeros(0, dtype=np.float64)
 
     def setup(self, d: int, rng: np.random.Generator, dtype=np.float64) -> None:
         super().setup(d, rng, dtype=dtype)

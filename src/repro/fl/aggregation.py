@@ -34,7 +34,7 @@ def fedavg_weights(
     participant_ids = np.asarray(participant_ids)
     k = len(participant_ids)
     if k == 0:
-        return np.empty(0)
+        return np.empty(0, dtype=np.float64)
     return (num_clients / k) * p[participant_ids]
 
 
@@ -55,9 +55,11 @@ def sticky_weights(
     nonsticky_ids = np.asarray(nonsticky_ids)
     c = len(sticky_ids)
     r = len(nonsticky_ids)
-    nu_s = (group_size / c) * p[sticky_ids] if c else np.empty(0)
+    nu_s = (group_size / c) * p[sticky_ids] if c else np.empty(0, dtype=np.float64)
     nu_r = (
-        ((num_clients - group_size) / r) * p[nonsticky_ids] if r else np.empty(0)
+        ((num_clients - group_size) / r) * p[nonsticky_ids]
+        if r
+        else np.empty(0, dtype=np.float64)
     )
     return nu_s, nu_r
 
@@ -66,8 +68,8 @@ def equal_weights(participant_ids: np.ndarray) -> np.ndarray:
     """Biased ``1/K`` weights (the Fig. 5 "GlueFL (Equal)" ablation)."""
     k = len(participant_ids)
     if k == 0:
-        return np.empty(0)
-    return np.full(k, 1.0 / k)
+        return np.empty(0, dtype=np.float64)
+    return np.full(k, 1.0 / k, dtype=np.float64)
 
 
 def horvitz_thompson_weights(
@@ -84,7 +86,7 @@ def horvitz_thompson_weights(
     """
     participant_ids = np.asarray(participant_ids)
     if len(participant_ids) == 0:
-        return np.empty(0)
+        return np.empty(0, dtype=np.float64)
     pi = np.asarray(inclusion_probs, dtype=np.float64)
     if len(pi) != len(participant_ids):
         raise ValueError("one inclusion probability per participant required")

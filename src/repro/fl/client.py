@@ -54,6 +54,10 @@ class LocalTrainer:
         temporaries, optimizer updates) through a private
         :class:`~repro.runtime.arena.BufferArena` instead of reallocating
         them every step.  Bit-identical either way; default on.
+    sanitize:
+        Run the arena in sanitizer mode (guarded scratch views; see
+        :mod:`repro.runtime.sanitize`).  ``None`` follows the
+        ``REPRO_SANITIZE`` environment gate.
     """
 
     def __init__(
@@ -64,6 +68,7 @@ class LocalTrainer:
         momentum: float = 0.9,
         weight_decay: float = 0.0,
         use_arena: bool = True,
+        sanitize: Optional[bool] = None,
     ):
         if local_steps <= 0:
             raise ValueError("local_steps must be positive")
@@ -77,7 +82,7 @@ class LocalTrainer:
         self.loss = CrossEntropyLoss()
         # private per-trainer pool: the thread backend hands each replica
         # (and thus each arena) to one in-flight task at a time
-        self.arena = BufferArena() if use_arena else None
+        self.arena = BufferArena(sanitize=sanitize) if use_arena else None
 
     def run(
         self,

@@ -168,6 +168,14 @@ class RunConfig:
     #: optimizer updates) through per-trainer buffer arenas; bit-identical
     #: to allocation-per-step, so it defaults on
     use_arena: bool = True
+    #: runtime sanitizer (see :mod:`repro.runtime.sanitize`): tag arena
+    #: buffers with owner-thread/epoch metadata and the process backend's
+    #: result-ring slots with claim/release epochs, and raise
+    #: ``SanitizerError`` on cross-thread scratch touches, use of scratch
+    #: across an arena ``reset()``, or slot reuse while a result is in
+    #: flight.  Debugging aid with measurable overhead, so it defaults
+    #: off; ``REPRO_SANITIZE=1`` in the environment also enables it
+    sanitize: bool = False
     #: thread backend only: train this many clients' mini-batches through
     #: one vectorized replica with a leading replica axis (see
     #: repro.runtime.batched).  None disables (the default); changes
@@ -285,6 +293,70 @@ class RunConfig:
 
         if self.rounds <= 0:
             raise ValueError("rounds must be positive")
+        if not self.model_name:
+            raise ValueError("model_name must be a non-empty model key")
+        if not isinstance(self.model_kwargs, dict):
+            raise ValueError("model_kwargs must be a dict")
+        # local-training hyperparameters (paper §5.1)
+        if self.local_steps <= 0:
+            raise ValueError("local_steps must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 < self.lr_decay <= 1.0:
+            raise ValueError("lr_decay must be in (0, 1]")
+        if self.lr_decay_every <= 0:
+            raise ValueError("lr_decay_every must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if self.weight_decay < 0:
+            raise ValueError("weight_decay must be >= 0")
+        # systems environment
+        if not self.network_profile:
+            raise ValueError("network_profile must be a profile name")
+        if self.base_step_seconds <= 0:
+            raise ValueError("base_step_seconds must be positive")
+        if self.compute_sigma < 0:
+            raise ValueError("compute_sigma must be >= 0")
+        if self.availability_trace is not None and not hasattr(
+            self.availability_trace, "online"
+        ):
+            raise ValueError(
+                "availability_trace must expose online(round_idx) (see "
+                "repro.traces.diurnal.DiurnalAvailabilityTrace)"
+            )
+        # evaluation / stopping
+        if self.eval_every <= 0:
+            raise ValueError("eval_every must be positive")
+        if self.eval_batch <= 0:
+            raise ValueError("eval_batch must be positive")
+        if self.accuracy_window <= 0:
+            raise ValueError("accuracy_window must be positive")
+        if self.target_accuracy is not None and not (
+            0.0 < self.target_accuracy <= 1.0
+        ):
+            raise ValueError("target_accuracy must be in (0, 1]")
+        if self.stop_at_target and self.target_accuracy is None:
+            raise ValueError(
+                "stop_at_target needs target_accuracy to know when to stop"
+            )
+        # bookkeeping: the seed and the boolean switches are used as-is in
+        # hashed/golden-pinned places, so reject look-alike types early
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError("seed must be an int")
+        for flag in (
+            "always_available",
+            "use_arena",
+            "sanitize",
+            "skip_empty_rounds",
+            "stop_at_target",
+            "count_buffer_sync",
+            "log_echo",
+            "collect_sync_details",
+        ):
+            if not isinstance(getattr(self, flag), bool):
+                raise ValueError(f"{flag} must be a bool")
         if self.weight_mode not in ("unbiased", "equal"):
             raise ValueError(f"unknown weight_mode {self.weight_mode!r}")
         if self.eval_top_k not in (1, 5):

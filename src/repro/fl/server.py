@@ -153,6 +153,7 @@ class FLServer:
             momentum=config.momentum,
             weight_decay=config.weight_decay,
             use_arena=config.use_arena,
+            sanitize=True if config.sanitize else None,
         )
         # server-side scratch pool for the compression/aggregation hot path
         # (top-k magnitude buffers, dense accumulators); round-scoped via
@@ -174,6 +175,7 @@ class FLServer:
             d=self.d,
             num_buffer=self.view.num_buffer,
             use_arena=config.use_arena,
+            sanitize=config.sanitize,
             # sizes the process backend's zero-copy result rings: the most
             # results a scheduler can ask for before draining them
             max_in_flight=max(

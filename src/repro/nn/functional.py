@@ -16,6 +16,12 @@ from typing import Tuple
 
 import numpy as np
 
+# repro: allow-file[arena-escape] -- intra-step handoff by design: scratch
+# returned (activations/grads) or cached for backward here is consumed within
+# the same local step and is dead before the trainer's per-step
+# BufferArena.reset(); nothing crosses a reset epoch (pinned by
+# tests/runtime/test_arena.py).
+
 from repro.runtime.arena import scratch_zeros
 
 __all__ = [
@@ -161,5 +167,5 @@ def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarra
     if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
         raise ValueError("label out of range for one_hot")
     out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
-    out[np.arange(labels.shape[0]), labels] = 1.0
+    out[np.arange(labels.shape[0], dtype=np.intp), labels] = 1.0
     return out

@@ -6,6 +6,12 @@ from typing import Optional
 
 import numpy as np
 
+# repro: allow-file[arena-escape] -- intra-step handoff by design: scratch
+# returned (activations/grads) or cached for backward here is consumed within
+# the same local step and is dead before the trainer's per-step
+# BufferArena.reset(); nothing crosses a reset epoch (pinned by
+# tests/runtime/test_arena.py).
+
 from repro.nn.module import Module
 from repro.runtime.arena import scratch_empty
 

@@ -18,6 +18,12 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+# repro: allow-file[arena-escape] -- intra-step handoff by design: scratch
+# returned (activations/grads) or cached for backward here is consumed within
+# the same local step and is dead before the trainer's per-step
+# BufferArena.reset(); nothing crosses a reset epoch (pinned by
+# tests/runtime/test_arena.py).
+
 from repro.nn.functional import col2im, conv_out_size, im2col, matmul_widened
 from repro.nn.module import Module, Parameter, kaiming_init
 from repro.runtime.arena import scratch_empty

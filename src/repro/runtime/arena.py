@@ -52,9 +52,11 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.runtime import sanitize as _sanitize
 
 __all__ = [
     "BufferArena",
@@ -66,15 +68,32 @@ __all__ = [
 
 
 class BufferArena:
-    """A pool of reusable numpy buffers keyed on ``(shape, dtype)``."""
+    """A pool of reusable numpy buffers keyed on ``(shape, dtype)``.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    sanitize:
+        Wrap every handed-out buffer in a
+        :class:`~repro.runtime.sanitize.GuardedView` that raises
+        :class:`~repro.runtime.sanitize.SanitizerError` when the buffer
+        is touched after :meth:`reset` or from a thread other than the
+        taker's.  ``None`` (the default) follows the ``REPRO_SANITIZE``
+        environment gate.
+    """
+
+    def __init__(self, sanitize: Optional[bool] = None) -> None:
         self._free: Dict[Tuple[Tuple[int, ...], np.dtype], List[np.ndarray]] = {}
         self._taken: List[Tuple[Tuple[Tuple[int, ...], np.dtype], np.ndarray]] = []
         #: buffers created because no free one matched (allocation count)
         self.misses = 0
         #: buffers served from a free list (reuse count)
         self.hits = 0
+        self.sanitize = (
+            _sanitize.enabled() if sanitize is None else bool(sanitize)
+        )
+        #: reclaim-barrier counter: every reset()/clear() bumps it, which
+        #: is what invalidates the OwnershipTags of outstanding guards
+        self.sanitize_epoch = 0
 
     # -- allocation ----------------------------------------------------------
     def take(self, shape, dtype) -> np.ndarray:
@@ -91,6 +110,18 @@ class BufferArena:
             buf = np.empty(key[0], dtype=key[1])
             self.misses += 1
         self._taken.append((key, buf))
+        if self.sanitize:
+            # the pool keeps (and recycles) the raw buffer; the borrower
+            # only ever sees the guarded view
+            return _sanitize.guard(
+                buf,
+                _sanitize.OwnershipTag(
+                    host=self,
+                    epoch=self.sanitize_epoch,
+                    owner_thread=threading.get_ident(),
+                    label=f"arena scratch {key[0]}/{key[1]}",
+                ),
+            )
         return buf
 
     def zeros(self, shape, dtype) -> np.ndarray:
@@ -109,11 +140,13 @@ class BufferArena:
         for key, buf in self._taken:
             self._free.setdefault(key, []).append(buf)
         self._taken.clear()
+        self.sanitize_epoch += 1
 
     def clear(self) -> None:
         """Drop all pooled memory (free lists and outstanding records)."""
         self._free.clear()
         self._taken.clear()
+        self.sanitize_epoch += 1
 
     @property
     def outstanding(self) -> int:

@@ -38,6 +38,7 @@ from repro.datasets.base import ClientDataset
 from repro.nn.models import build_model
 from repro.nn.module import Module
 from repro.runtime.dtype import cast_model_dtype, resolve_dtype
+from repro.runtime import sanitize as _sanitize
 from repro.utils.rng import RngFactory
 
 # LocalTrainer is imported lazily inside build_trainer(): repro.fl pulls in
@@ -140,6 +141,10 @@ class WorkerSpec:
     num_buffer: int = 0
     #: recycle per-step scratch through each trainer's private BufferArena
     use_arena: bool = True
+    #: runtime ownership sanitizer (repro.runtime.sanitize): guard arena
+    #: scratch and the process backend's result ring; False still honors
+    #: the REPRO_SANITIZE environment gate downstream
+    sanitize: bool = False
     #: cap on results a parallel backend may have outstanding at once
     #: (sizes the process backend's zero-copy result rings); 0 = derive
     #: from the task count per call
@@ -168,6 +173,9 @@ class WorkerSpec:
             momentum=self.momentum,
             weight_decay=self.weight_decay,
             use_arena=self.use_arena,
+            # None (not False) keeps the REPRO_SANITIZE env gate live when
+            # the config knob is off
+            sanitize=True if self.sanitize else None,
         )
         return model, trainer
 
@@ -449,6 +457,8 @@ def _process_worker_init(
     res_name: Optional[str] = None,
     res_capacity: int = 0,
     res_cursor=None,
+    res_slot_epochs=None,
+    res_epoch=None,
 ) -> None:
     from multiprocessing import shared_memory
 
@@ -470,6 +480,8 @@ def _process_worker_init(
         res_flat=None,
         res_capacity=0,
         res_cursor=None,
+        res_slot_epochs=None,
+        res_epoch=None,
     )
     if res_name is not None:
         res_shm = shared_memory.SharedMemory(name=res_name)
@@ -479,6 +491,8 @@ def _process_worker_init(
             res_flat=np.ndarray(res_capacity * stride, dtype=dt, buffer=res_shm.buf),
             res_capacity=res_capacity,
             res_cursor=res_cursor,
+            res_slot_epochs=res_slot_epochs,
+            res_epoch=res_epoch,
         )
 
 
@@ -499,6 +513,14 @@ def _process_worker_run(task: ClientTask):
             cursor.value = slot + 1
         else:
             slot = -1
+        if slot >= 0 and ctx["res_slot_epochs"] is not None:
+            # sanitize mode: stamp the claim with the dispatch epoch (still
+            # under the cursor lock, which serializes all claims) so a
+            # broken cursor protocol — two workers on one slot — raises in
+            # the claiming worker instead of silently aliasing deltas
+            _sanitize.checked_slot_claim(
+                ctx["res_slot_epochs"], slot, ctx["res_epoch"].value
+            )
     if slot < 0:
         return result
     spec = ctx["spec"]
@@ -567,6 +589,9 @@ class ProcessBackend(ExecutionBackend):
             self._res_capacity = 0
             self._res_cursor = None
             self._epoch = 0
+            self._sanitize = spec.sanitize or _sanitize.enabled()
+            self._shared_epoch = None
+            self._slot_epochs = None
             initargs: tuple = (spec, self._shm.name)
             if stride > 0:
                 # ring sized by the scheduler's declared in-flight budget
@@ -586,6 +611,18 @@ class ProcessBackend(ExecutionBackend):
                     spec, self._shm.name, self._res_shm.name,
                     self._res_capacity, self._res_cursor,
                 )
+                if self._sanitize:
+                    # lock-free is safe: the parent writes the epoch only
+                    # while the pool is idle between map() calls, and the
+                    # per-slot claim stamps are serialized by the cursor's
+                    # lock in the workers
+                    self._shared_epoch = ctx.Value("q", 0, lock=False)
+                    self._slot_epochs = ctx.Array(
+                        "q", self._res_capacity, lock=False
+                    )
+                    initargs = initargs + (
+                        self._slot_epochs, self._shared_epoch,
+                    )
             self._pool = ctx.Pool(
                 processes=self.workers,
                 initializer=_process_worker_init,
@@ -594,6 +631,11 @@ class ProcessBackend(ExecutionBackend):
         except Exception:
             self._cleanup_shared()
             raise
+
+    @property
+    def sanitize_epoch(self) -> int:
+        """Current ring epoch — OwnershipTags on ring views check this."""
+        return self._epoch
 
     def run_clients(
         self,
@@ -610,6 +652,8 @@ class ProcessBackend(ExecutionBackend):
             # idle between map() calls, so no worker races this reset)
             self._epoch += 1
             self._res_cursor.value = 0
+            if self._shared_epoch is not None:
+                self._shared_epoch.value = self._epoch
         # map() preserves task order, so aggregation order matches serial
         raw = self._pool.map(_process_worker_run, tasks, chunksize=1)
         d, stride = spec.d, self._stride
@@ -617,11 +661,26 @@ class ProcessBackend(ExecutionBackend):
         for r in raw:
             if isinstance(r, _SlotResult):
                 base = r.slot * stride
+                delta = self._res[base : base + d]
+                buffer_delta = self._res[base + d : base + stride]
+                if self._sanitize:
+                    # epoch-scope the borrowed ring views: a result of this
+                    # dispatch touched after the next run_clients reclaims
+                    # the ring raises instead of reading the next round's
+                    # deltas.  detach() copies drop the guard.
+                    tag = _sanitize.OwnershipTag(
+                        host=self,
+                        epoch=self._epoch,
+                        owner_thread=None,
+                        label=f"result-ring slot {r.slot}",
+                    )
+                    delta = _sanitize.guard(delta, tag)
+                    buffer_delta = _sanitize.guard(buffer_delta, tag)
                 out.append(
                     ClientResult(
                         client_id=r.client_id,
-                        delta=self._res[base : base + d],
-                        buffer_delta=self._res[base + d : base + stride],
+                        delta=delta,
+                        buffer_delta=buffer_delta,
                         num_samples=r.num_samples,
                         mean_loss=r.mean_loss,
                     )

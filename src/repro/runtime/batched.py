@@ -48,6 +48,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+# repro: allow-file[arena-escape] -- intra-step handoff by design: scratch
+# returned (activations/grads) or cached for backward here is consumed within
+# the same local step and is dead before the trainer's per-step
+# BufferArena.reset(); nothing crosses a reset epoch (pinned by
+# tests/runtime/test_arena.py).
+
 from repro.nn.functional import conv_out_size
 from repro.nn.layers import (
     AvgPool2d,

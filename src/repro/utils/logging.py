@@ -30,9 +30,11 @@ class RunLogger:
         self.echo = echo
         self.stream = stream if stream is not None else sys.stderr
         self.events: List[Dict[str, Any]] = []
+        # repro: allow[determinism] -- diagnostic stamp; SimClock owns sim time
         self._t0 = time.monotonic()
 
     def log(self, tag: str, **fields: Any) -> None:
+        # repro: allow[determinism] -- diagnostic stamp; not simulation state
         event = {"tag": tag, "elapsed_s": round(time.monotonic() - self._t0, 3)}
         event.update(fields)
         self.events.append(event)

@@ -1,0 +1,23 @@
+"""The pass ships self-clean: zero unwaived findings over ``src/repro``.
+
+This is the same invariant CI's ``analysis`` job enforces via
+``python -m repro.analysis src/repro`` — kept in tier-1 so a violation
+introduced by any PR fails the ordinary test run too.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import analyze_paths
+
+pytestmark = pytest.mark.analysis
+
+
+def test_src_repro_is_clean():
+    tree = Path(repro.__file__).parent
+    findings = analyze_paths([str(tree)])
+    assert findings == [], "\n".join(f.format() for f in findings)

@@ -45,6 +45,9 @@ DOCUMENTED_MODULES = (
     "repro.population.population",
     "repro.population.traces",
     "repro.datasets.lazy",
+    "repro.analysis",
+    "repro.runtime.arena",
+    "repro.runtime.sanitize",
 )
 
 #: Example scripts whose module docstrings carry doctests.
