@@ -8,15 +8,16 @@ tolerance, and exits nonzero when anything regressed.  Intended wiring::
         [--baseline BENCH_micro.json] [--tolerance 0.25] \
         [--candidate fresh.json | --rounds 20 --repeats 3]
 
-Keys present in only one report (e.g. a newly added e2e combo, or the
-``seed_serial_float64`` baseline that needs ``--seed-src``) are reported
-but never fail the gate; only timings that exist on both sides count.
-Accuracy keys are checked for absolute drift as a sanity net — a perf PR
-should not move what the simulation computes.  When both reports carry
-``speedup_vs_seed`` (requires ``--seed-src`` at generation time), the
-candidate's ratio must not drop below the baseline's — that is the repo's
-headline perf claim, and losing it fails the gate even if every individual
-timing stayed within tolerance.
+Keys only the *candidate* has (a newly added e2e combo) are notes; keys
+the baseline has but the candidate lost are hard failures — a vanished
+timing means a bench case silently stopped running, which is how a perf
+regression walks in unmeasured.  The same applies to ``speedup_vs_seed``:
+once the baseline carries the headline seed ratio, a candidate without
+one (generated without ``--seed-src``) fails rather than skipping the
+repo's central perf claim.  Accuracy keys are checked for absolute drift
+as a sanity net — a perf PR should not move what the simulation computes
+— and when both reports carry ``speedup_vs_seed``, the candidate's ratio
+must not drop below the baseline's.
 """
 
 from __future__ import annotations
@@ -59,7 +60,9 @@ def compare(
     """Return ``(regressions, notes)`` between two bench reports.
 
     A timing regresses when ``candidate > baseline * (1 + tolerance)``.
-    Faster-than-baseline results and keys missing on either side are notes.
+    Faster-than-baseline results and candidate-only keys are notes;
+    baseline keys absent from the candidate are regressions (a bench case
+    that silently stopped running is an unmeasured perf hole, not a skip).
     """
     regressions: List[str] = []
     notes: List[str] = []
@@ -70,7 +73,10 @@ def compare(
             notes.append(f"NEW       {key}: {cand_t[key]:.4f}s (no baseline)")
             continue
         if key not in cand_t:
-            notes.append(f"MISSING   {key}: not in candidate report")
+            regressions.append(
+                f"MISSING   {key}: in baseline but not in candidate report "
+                "— the bench case stopped running"
+            )
             continue
         old, new = base_t[key], cand_t[key]
         ratio = new / old if old > 0 else float("inf")
@@ -100,9 +106,9 @@ def compare(
         else:
             notes.append(f"ok        {line}")
     elif base_s is not None:
-        notes.append(
-            "MISSING   speedup_vs_seed: candidate has no seed baseline "
-            "(regenerate with --seed-src to check the headline ratio)"
+        regressions.append(
+            "MISSING   speedup_vs_seed: candidate has no seed baseline — "
+            "the headline ratio went unmeasured (regenerate with --seed-src)"
         )
     return regressions, notes
 

@@ -308,6 +308,18 @@ def main() -> None:
                 "async_buffer_size": 5,
             },
         ),
+        # sharded server state: aggregation/top-k/apply partitioned into
+        # contiguous coordinate-range shards, kernels dispatched through
+        # a fork pool (bit-identical to serial_float32 by contract)
+        (
+            "shard_process_float32",
+            {
+                "execution_backend": "serial",
+                "dtype": "float32",
+                "shard_count": 4,
+                "shard_backend": "process",
+            },
+        ),
         # tiered semi-async scheduler (sync fast tier + straggler fold-in)
         (
             "semiasync_serial_float32",

@@ -48,10 +48,20 @@ class DtypeDisciplineChecker(Checker):
         "width (np.float64 / np.int64)"
     )
 
+    #: class attributes so path-scoped variants (shard-kernel-dtype) can
+    #: subclass with their own coverage / constructor set
+    hot_path_dirs = HOT_PATH_DIRS
+    hot_path_files = HOT_PATH_FILES
+    constructors = BARE_CONSTRUCTORS
+
+    #: constructors where a positional argument at this index (0-based)
+    #: already pins the dtype
+    _positional_dtype = {"numpy.array": 2, "numpy.full": 3}
+
     def applies_to(self, path: str) -> bool:
-        return any(frag in path for frag in HOT_PATH_DIRS) or path.endswith(
-            HOT_PATH_FILES
-        )
+        return any(
+            frag in path for frag in self.hot_path_dirs
+        ) or path.endswith(self.hot_path_files)
 
     def check(self, source: SourceFile) -> List[Finding]:
         imports = ImportMap(source.tree)
@@ -60,22 +70,20 @@ class DtypeDisciplineChecker(Checker):
             if not isinstance(node, ast.Call):
                 continue
             name = imports.resolve(node.func)
-            if name not in BARE_CONSTRUCTORS:
+            if name not in self.constructors:
                 continue
             if any(kw.arg == "dtype" for kw in node.keywords):
                 continue
             # np.array(x, np.float32) — positional dtype (2nd arg) counts
-            if name == "numpy.array" and len(node.args) >= 2:
+            min_args = self._positional_dtype.get(name)
+            if min_args is not None and len(node.args) >= min_args:
                 continue
-            if name == "numpy.full" and len(node.args) >= 3:
-                continue
-            findings.append(
-                self.finding(
-                    source,
-                    node,
-                    f"{name.replace('numpy', 'np')}() without dtype= on a "
-                    "precision-policy hot path defaults to float64 "
-                    "(or a platform int)",
-                )
-            )
+            findings.append(self.finding(source, node, self._message(name)))
         return findings
+
+    def _message(self, name: str) -> str:
+        return (
+            f"{name.replace('numpy', 'np')}() without dtype= on a "
+            "precision-policy hot path defaults to float64 "
+            "(or a platform int)"
+        )

@@ -94,6 +94,9 @@ class CompressionStrategy:
     def __init__(self) -> None:
         self.d: int = 0
         self.dtype: np.dtype = np.dtype(np.float64)
+        #: bound sharding runtime (:class:`repro.sharding.ShardingRuntime`)
+        #: or None; strategies with sharded kernels consult it per call
+        self.sharding = None
 
     # -- lifecycle -----------------------------------------------------------
     def setup(self, d: int, rng: np.random.Generator, dtype=np.float64) -> None:
@@ -107,6 +110,19 @@ class CompressionStrategy:
             raise ValueError(f"model dimension must be positive, got {d}")
         self.d = d
         self.dtype = np.dtype(dtype)
+
+    def bind_sharding(self, runtime) -> None:
+        """Bind a :class:`~repro.sharding.ShardingRuntime` (or ``None``).
+
+        Called by the server after :meth:`setup` when
+        ``RunConfig.shard_count`` is set.  Strategies whose hot path has
+        sharded kernels (GlueFL, STC, FedAvg) route their dense sums and
+        top-k selections through the runtime when bound — bit-identical
+        to the unsharded path, so binding never changes results, only how
+        the work is partitioned and dispatched.  Wrapper strategies must
+        delegate to their inner strategy.
+        """
+        self.sharding = runtime
 
     def begin_round(self, round_idx: int) -> None:
         """Per-round state decisions before any client work."""

@@ -17,7 +17,7 @@ is the one originally intended.  The ablation in Fig. 11 compares:
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -41,8 +41,32 @@ class ResidualStore:
 
     def __init__(self, mode: ErrorCompMode = ErrorCompMode.REC):
         self.mode = ErrorCompMode(mode)
-        self._residual: Dict[int, np.ndarray] = {}
+        self._residual: Dict[int, Union[np.ndarray, List[np.ndarray]]] = {}
         self._weight: Dict[int, float] = {}
+        self._spec = None  # optional repro.sharding.ShardSpec
+
+    def partition(self, spec) -> None:
+        """Store residuals as per-shard float32 chunks from now on.
+
+        Bound by the sharding layer (see :mod:`repro.sharding`): each
+        recorded residual is split along ``spec``'s contiguous coordinate
+        ranges, so per-client residual memory follows the same partition
+        as every other piece of server state (and each chunk is
+        independently spillable).  Chunking is storage-only — reassembly
+        is a concatenation of contiguous slices, so ``compensate`` is
+        bit-identical to the flat store.
+        """
+        if self._residual:
+            raise RuntimeError(
+                "partition() must run before any residual is recorded"
+            )
+        self._spec = spec
+
+    def _stored(self, client_id: int) -> Optional[np.ndarray]:
+        h = self._residual.get(client_id)
+        if h is None or isinstance(h, np.ndarray):
+            return h
+        return np.concatenate(h)
 
     def compensate(
         self, client_id: int, delta: np.ndarray, current_weight: float
@@ -58,7 +82,7 @@ class ResidualStore:
         """
         if self.mode is ErrorCompMode.NONE:
             return delta.copy()
-        h = self._residual.get(client_id)
+        h = self._stored(client_id)
         if h is None:
             return delta.copy()
         if self.mode is ErrorCompMode.REC:
@@ -77,18 +101,26 @@ class ResidualStore:
         """Store this participation's residual and the weight it was sent with.
 
         ``residual`` is copied into float32 storage (a no-copy view when it
-        already is float32 — callers hand over ownership).
+        already is float32 — callers hand over ownership); a partitioned
+        store keeps it as per-shard chunks instead of one flat vector.
         """
         if self.mode is ErrorCompMode.NONE:
             return
-        self._residual[client_id] = residual.astype(np.float32, copy=False)
+        h = residual.astype(np.float32, copy=False)
+        if self._spec is not None:
+            self._residual[client_id] = [
+                h[lo:hi] for _s, lo, hi in self._spec.iter_bounds()
+            ]
+        else:
+            self._residual[client_id] = h
         self._weight[client_id] = float(weight)
 
     def peek(self, client_id: int) -> Optional[Tuple[np.ndarray, float]]:
-        """Inspect a stored residual (testing hook)."""
+        """Inspect a stored residual (testing hook; chunked stores are
+        reassembled)."""
         if client_id not in self._residual:
             return None
-        return self._residual[client_id], self._weight[client_id]
+        return self._stored(client_id), self._weight[client_id]
 
     def __len__(self) -> int:
         return len(self._residual)

@@ -41,9 +41,14 @@ class FedAvgStrategy(CompressionStrategy):
         self, payloads: Sequence[Tuple[int, float, ClientPayload]]
     ) -> AggregateResult:
         self._check_setup()
-        acc = np.zeros(self.d, dtype=self.dtype)
-        for _, weight, payload in payloads:
-            acc += weight * payload.data["dense"]
+        if self.sharding is not None:
+            acc = self.sharding.dense_weighted_sum(
+                payloads, key="dense", dtype=self.dtype
+            )
+        else:
+            acc = np.zeros(self.d, dtype=self.dtype)
+            for _, weight, payload in payloads:
+                acc += weight * payload.data["dense"]
         return AggregateResult(
             global_delta=acc, changed_idx=np.arange(self.d, dtype=np.int64)
         )

@@ -28,7 +28,7 @@ from repro.compression.base import (
     weighted_dense_sum,
 )
 from repro.compression.error_comp import ErrorCompMode, ResidualStore
-from repro.compression.topk import ratio_to_k, sparsify_top_k, top_k_indices
+from repro.compression.topk import ratio_to_k, select_top_k
 from repro.network.encoding import sparse_bytes
 
 __all__ = ["STCStrategy"]
@@ -79,6 +79,11 @@ class STCStrategy(CompressionStrategy):
             raise ValueError(f"q={self.q} keeps zero of {d} coordinates")
         self._server_h = np.zeros(d, dtype=self.dtype)
 
+    def bind_sharding(self, runtime) -> None:
+        super().bind_sharding(runtime)
+        if runtime is not None:
+            self.residuals.partition(runtime.spec)
+
     def nominal_upstream_bytes(self) -> int:
         self._check_setup()
         return sparse_bytes(self._k, self.d)
@@ -91,7 +96,8 @@ class STCStrategy(CompressionStrategy):
         # compensate() returns a caller-owned vector: zero the sent top-k
         # in place and what remains is the residual (no zeros(d) scratch)
         accumulated = self.residuals.compensate(client_id, delta, weight)
-        idx, vals = sparsify_top_k(accumulated, self._k)
+        idx = select_top_k(accumulated, self._k, self.sharding)
+        vals = accumulated[idx].copy()
         accumulated[idx] = 0.0
         self.residuals.record(client_id, accumulated, weight)
         return ClientPayload(
@@ -103,10 +109,15 @@ class STCStrategy(CompressionStrategy):
         self, payloads: Sequence[Tuple[int, float, ClientPayload]]
     ) -> AggregateResult:
         self._check_setup()
-        acc = weighted_dense_sum(payloads, self.d, dtype=self.dtype)
+        if self.sharding is not None:
+            acc = self.sharding.sparse_weighted_sum(
+                payloads, dtype=self.dtype
+            )
+        else:
+            acc = weighted_dense_sum(payloads, self.d, dtype=self.dtype)
         if self.server_residual:
             acc = acc + self._server_h
-        keep = top_k_indices(acc, self._k)
+        keep = select_top_k(acc, self._k, self.sharding)
         global_delta = np.zeros(self.d, dtype=self.dtype)
         global_delta[keep] = acc[keep]
         if self.server_residual:

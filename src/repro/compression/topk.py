@@ -15,7 +15,13 @@ import numpy as np
 
 from repro.runtime.arena import scratch_empty
 
-__all__ = ["top_k_indices", "top_k_mask", "sparsify_top_k", "ratio_to_k"]
+__all__ = [
+    "top_k_indices",
+    "top_k_mask",
+    "sparsify_top_k",
+    "select_top_k",
+    "ratio_to_k",
+]
 
 
 def ratio_to_k(ratio: float, d: int) -> int:
@@ -45,6 +51,21 @@ def top_k_indices(x: np.ndarray, k: int) -> np.ndarray:
     np.abs(x, out=mag)
     idx = np.argpartition(mag, d - k)[d - k :]
     return np.sort(idx).astype(np.int64)
+
+
+def select_top_k(x: np.ndarray, k: int, sharding=None) -> np.ndarray:
+    """:func:`top_k_indices`, routed through a bound sharding runtime.
+
+    The one seam strategies use for server-side top-k: with a
+    :class:`~repro.sharding.ShardingRuntime` bound, selection runs as
+    per-shard partial top-k plus an exact candidate merge (identical
+    index set whenever the k-th magnitude is untied — the same arbitrary
+    tie-breaking contract ``argpartition`` already has); with ``None`` it
+    is exactly the unsharded selection.
+    """
+    if sharding is not None:
+        return sharding.top_k_indices(x, k)
+    return top_k_indices(x, k)
 
 
 def top_k_mask(x: np.ndarray, k: int) -> np.ndarray:

@@ -23,7 +23,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.engine.context import RoundContext
-from repro.fl.aggregation import aggregate_buffer_deltas
+from repro.fl.aggregation import aggregate_buffer_deltas, apply_update
 from repro.fl.metrics import RoundRecord
 from repro.fl.samplers import SampleDraw
 from repro.fl.simulator import (
@@ -188,7 +188,8 @@ def apply_aggregate(server, payloads, buffer_deltas):
         # agg's own arrays (global_delta, changed_idx) are fresh and
         # outlive the scope
         agg = server.strategy.aggregate(payloads)
-    params = server.global_params + agg.global_delta
+    sharding = getattr(server, "sharding", None)
+    params = apply_update(server.global_params, agg.global_delta, sharding)
     if params.dtype != server.global_params.dtype:
         # half-precision run: the delta was accumulated in float32 —
         # round back to the run dtype once, after the add
@@ -200,6 +201,8 @@ def apply_aggregate(server, payloads, buffer_deltas):
         buffers.flags.writeable = False
         server.global_buffers = buffers
     server.staleness.record_update(agg.changed_idx)
+    if sharding is not None:
+        sharding.observe_release(agg.changed_idx)
     return agg
 
 

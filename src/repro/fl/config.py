@@ -33,6 +33,14 @@ class RunConfig:
       the whole hot path (model, training, compression, aggregation) in
       single precision for a large CPU speedup at FL-irrelevant accuracy
       cost.
+    * ``shard_count`` / ``shard_backend`` / ``shard_mmap`` — partition
+      the server hot path (aggregation sums, top-k selection, mask
+      bookkeeping, residual storage) into contiguous coordinate-range
+      shards (see :mod:`repro.sharding`).  Bit-identical to the
+      unsharded path on and off, so the knobs trade nothing but how the
+      work is partitioned, dispatched (``"serial"``/``"thread"``/
+      ``"process"``) and stored (``shard_mmap=True`` backs the dense
+      accumulators with ``np.memmap`` files).
 
     Scheduling knobs (see :mod:`repro.engine.schedulers`):
 
@@ -182,6 +190,22 @@ class RunConfig:
     #: floating-point op order, so it is off for golden-pinned runs
     batch_replicas: Optional[int] = None
 
+    # sharded server state (repro.sharding)
+    #: partition the server hot path into this many contiguous
+    #: coordinate-range shards; None (the default) keeps the unsharded
+    #: path.  Bit-identical on and off — contiguous shards preserve
+    #: per-coordinate operation order and the merged top-k is exact — so
+    #: the knob only changes how server work is partitioned/dispatched
+    shard_count: Optional[int] = None
+    #: per-shard kernel dispatch: "serial" | "thread" | "process" (the
+    #: shard analogue of execution_backend; requires shard_count)
+    shard_backend: str = "serial"
+    #: back the sharded dense accumulators with np.memmap files so the
+    #: d-sized aggregation temporaries live out-of-core (requires
+    #: shard_count; see repro.sharding.ShardedServerState for the fully
+    #: memmapped parameter store)
+    shard_mmap: bool = False
+
     # round scheduling (repro.engine)
     #: round shape: "sync" (Algorithm 1), "async" (FedBuff-style buffered
     #: asynchrony), or "failure" (sync + injected dropout bursts/straggler
@@ -290,6 +314,7 @@ class RunConfig:
         from repro.privacy import PRIVACY_MODES
         from repro.runtime.backends import BACKENDS
         from repro.runtime.dtype import DTYPE_NAMES
+        from repro.sharding.executor import SHARD_BACKENDS
 
         if self.rounds <= 0:
             raise ValueError("rounds must be positive")
@@ -349,6 +374,7 @@ class RunConfig:
             "always_available",
             "use_arena",
             "sanitize",
+            "shard_mmap",
             "skip_empty_rounds",
             "stop_at_target",
             "count_buffer_sync",
@@ -382,6 +408,25 @@ class RunConfig:
                     "batch_replicas vectorizes replicas inside one process; "
                     "it requires execution_backend='thread' (got "
                     f"{self.execution_backend!r})"
+                )
+        if self.shard_count is not None and self.shard_count <= 0:
+            raise ValueError("shard_count must be positive (or None)")
+        if self.shard_backend not in SHARD_BACKENDS:
+            raise ValueError(
+                f"unknown shard_backend {self.shard_backend!r}; "
+                f"expected {SHARD_BACKENDS}"
+            )
+        if self.shard_count is None:
+            stale_shard = []
+            if self.shard_backend != "serial":
+                stale_shard.append("shard_backend")
+            if self.shard_mmap:
+                stale_shard.append("shard_mmap")
+            if stale_shard:
+                raise ValueError(
+                    f"{', '.join(stale_shard)} only applies to the sharded "
+                    "server path; with shard_count unset it would be "
+                    "silently ignored — set shard_count (or unset it)"
                 )
         if self.dtype in ("float16", "bfloat16"):
             if self.privacy_mode == "gaussian":

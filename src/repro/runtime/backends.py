@@ -58,9 +58,28 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "create_backend",
+    "require_fork",
 ]
 
 BACKENDS = ("serial", "thread", "process")
+
+
+def require_fork(feature: str) -> None:
+    """Raise unless the platform offers the ``fork`` start method.
+
+    Both process pools in the repo — the client-training
+    :class:`ProcessBackend` and the shard dispatcher in
+    :mod:`repro.sharding.executor` — rely on fork semantics (workers
+    inherit read-only parent state by reference instead of pickling it),
+    so the capability check lives in one place.
+    """
+    import multiprocessing as mp
+
+    if "fork" not in mp.get_all_start_methods():
+        raise RuntimeError(
+            f"{feature} requires the 'fork' start method (POSIX); "
+            "use the 'thread' backend on this platform"
+        )
 
 
 @dataclass(frozen=True)
@@ -562,11 +581,7 @@ class ProcessBackend(ExecutionBackend):
         super().__init__(spec)
         import multiprocessing as mp
 
-        if "fork" not in mp.get_all_start_methods():
-            raise RuntimeError(
-                "the process backend requires the 'fork' start method "
-                "(POSIX); use execution_backend='thread' on this platform"
-            )
+        require_fork("execution_backend='process'")
         from multiprocessing import shared_memory
 
         self.workers = max(1, workers or os.cpu_count() or 1)

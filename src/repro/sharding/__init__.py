@@ -1,0 +1,48 @@
+"""Sharded, out-of-core server state (ROADMAP headline #3).
+
+Partitions the GlueFL server hot path — weighted-sum aggregation,
+shared-mask bookkeeping, top-k selection, residual storage, release
+ledgers — into contiguous coordinate-range shards:
+
+* :class:`ShardSpec` — the partition (``np.array_split`` convention);
+* :class:`ShardExecutor` — per-shard kernel dispatch over
+  ``serial``/``thread``/``process`` backends;
+* :class:`ShardingRuntime` — what the server binds to its strategy when
+  ``RunConfig.shard_count`` is set (bit-identical dense kernels,
+  optionally memmapped accumulators, release ledger);
+* :class:`ShardedServerState` — the fully out-of-core surface: per-shard
+  ``np.memmap`` parameters and a fused shard pass that never
+  materializes a dense length-``d`` vector in RAM.
+
+Bit-identity to the unsharded path is the subsystem's contract, proven
+by the differential suite in ``tests/properties/test_props_sharding.py``:
+contiguous shards preserve per-coordinate operation order for every sum,
+and the merged per-shard top-k is exact (see
+:mod:`repro.sharding.kernels` for the argument).
+"""
+
+from repro.sharding.executor import SHARD_BACKENDS, ShardExecutor
+from repro.sharding.kernels import (
+    merge_top_candidates,
+    shard_elementwise_add,
+    shard_slice_weighted_sum,
+    shard_top_candidates,
+    shard_weighted_scatter,
+)
+from repro.sharding.partition import ShardSpec
+from repro.sharding.runtime import ShardingRuntime, ShardReleaseLedger
+from repro.sharding.state import ShardedServerState
+
+__all__ = [
+    "SHARD_BACKENDS",
+    "ShardSpec",
+    "ShardExecutor",
+    "ShardingRuntime",
+    "ShardReleaseLedger",
+    "ShardedServerState",
+    "merge_top_candidates",
+    "shard_elementwise_add",
+    "shard_slice_weighted_sum",
+    "shard_top_candidates",
+    "shard_weighted_scatter",
+]

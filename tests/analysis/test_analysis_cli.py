@@ -78,7 +78,7 @@ def test_list_rules(capsys):
         assert rule in out
 
 
-def test_suite_has_the_six_pinned_rules():
+def test_suite_has_the_seven_pinned_rules():
     assert set(all_rules()) == {
         "determinism",
         "bare-dtype",
@@ -86,4 +86,5 @@ def test_suite_has_the_six_pinned_rules():
         "config-coverage",
         "golden-coverage",
         "lifecycle-pairing",
+        "shard-kernel-dtype",
     }

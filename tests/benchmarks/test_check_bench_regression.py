@@ -48,12 +48,25 @@ def test_e2e_seconds_compared_and_new_keys_are_notes():
     assert any(n.startswith("NEW") and "async" in n for n in notes)
 
 
-def test_missing_candidate_key_is_note_not_failure():
+def test_missing_candidate_key_is_hard_failure():
+    """A baseline timing the fresh run no longer produces means a bench
+    case silently stopped running — the gate fails instead of noting it."""
     base = report(micro={"gone_s": 1.0})
     cand = report(micro={})
     regressions, notes = cbr.compare(base, cand, tolerance=0.25)
-    assert regressions == []
-    assert any(n.startswith("MISSING") for n in notes)
+    assert len(regressions) == 1
+    assert regressions[0].startswith("MISSING")
+    assert "micro.gone_s" in regressions[0]
+    assert not any("gone_s" in n for n in notes)
+
+
+def test_missing_e2e_combo_is_hard_failure():
+    base = report(e2e={"serial": {"seconds": 2.0, "final_accuracy": 0.32}})
+    regressions, _ = cbr.compare(base, report(), tolerance=0.25)
+    assert any(
+        r.startswith("MISSING") and "e2e.serial.seconds" in r
+        for r in regressions
+    )
 
 
 def test_accuracy_drift_fails():
@@ -90,9 +103,19 @@ def test_speedup_vs_seed_floor_passes_when_held_or_raised():
         assert any("speedup_vs_seed" in n for n in notes)
 
 
-def test_speedup_vs_seed_missing_in_candidate_is_note():
+def test_speedup_vs_seed_missing_in_candidate_is_hard_failure():
+    """A candidate generated without --seed-src skips the headline perf
+    claim entirely; once the baseline carries the ratio, that fails."""
     base = report()
     base["speedup_vs_seed"] = 5.2
-    regressions, notes = cbr.compare(base, report(), tolerance=0.25)
+    regressions, _ = cbr.compare(base, report(), tolerance=0.25)
+    assert any(
+        "speedup_vs_seed" in r and "MISSING" in r for r in regressions
+    )
+
+
+def test_speedup_vs_seed_absent_everywhere_is_silent():
+    """No baseline ratio → nothing to hold the candidate to."""
+    regressions, notes = cbr.compare(report(), report(), tolerance=0.25)
     assert regressions == []
-    assert any("speedup_vs_seed" in n and "MISSING" in n for n in notes)
+    assert not any("speedup_vs_seed" in n for n in notes)

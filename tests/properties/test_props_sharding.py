@@ -1,0 +1,229 @@
+"""Hypothesis differential suite: sharded vs unsharded bit-identity.
+
+The contract of :mod:`repro.sharding` is that turning sharding on changes
+*nothing* — not within tolerance, but bit-for-bit.  These properties draw
+random (d, shard_count, k, dtype, scheduler) combinations — ragged last
+shards (d % shard_count != 0), more shards than coordinates, k larger
+than every shard — and compare the sharded kernels, a full strategy
+round, and whole scheduler runs against the unsharded originals.
+
+Value data is drawn as a PRNG seed and expanded to continuous normals:
+bit-identity of top-k *index sets* is only guaranteed when the k-th
+magnitude is untied (the same arbitrary-tie contract ``argpartition``
+has), and continuous draws make ties measure-zero.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.base import ClientPayload, weighted_dense_sum
+from repro.compression.gluefl_mask import GlueFLMaskStrategy
+from repro.compression.stc import STCStrategy
+from repro.compression.topk import top_k_indices
+from repro.sharding import ShardingRuntime
+
+pytestmark = pytest.mark.sharding
+
+
+# ------------------------------------------------------------- kernels
+@given(
+    d=st.integers(2, 400),
+    shard_count=st.integers(1, 32),
+    k=st.integers(0, 450),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_topk_bit_identical(d, shard_count, k, seed):
+    x = np.random.default_rng(seed).normal(size=d)
+    rt = ShardingRuntime(d, shard_count)
+    try:
+        np.testing.assert_array_equal(
+            top_k_indices(x, k), rt.top_k_indices(x, k)
+        )
+    finally:
+        rt.close()
+
+
+@given(
+    d=st.integers(2, 400),
+    shard_count=st.integers(1, 32),
+    num_clients=st.integers(1, 6),
+    dtype=st.sampled_from([np.float32, np.float64]),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_sparse_weighted_sum_bit_identical(
+    d, shard_count, num_clients, dtype, seed
+):
+    rng = np.random.default_rng(seed)
+    payloads = []
+    for cid in range(num_clients):
+        nnz = int(rng.integers(0, d + 1))
+        idx = np.sort(rng.choice(d, size=nnz, replace=False)).astype(np.int64)
+        vals = rng.normal(size=nnz).astype(dtype)
+        payloads.append(
+            (
+                cid,
+                float(rng.uniform(0.1, 3.0)),
+                ClientPayload(0, data={"idx": idx, "vals": vals}),
+            )
+        )
+    rt = ShardingRuntime(d, shard_count)
+    try:
+        ref = weighted_dense_sum(payloads, d, dtype=dtype)
+        got = rt.sparse_weighted_sum(payloads, dtype=dtype)
+        np.testing.assert_array_equal(ref, got)
+    finally:
+        rt.close()
+
+
+@given(
+    d=st.integers(2, 300),
+    shard_count=st.integers(1, 32),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_elementwise_add_bit_identical(d, shard_count, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=d).astype(np.float32)
+    b = rng.normal(size=d).astype(np.float32)
+    rt = ShardingRuntime(d, shard_count)
+    try:
+        np.testing.assert_array_equal(a + b, rt.elementwise_add(a, b))
+    finally:
+        rt.close()
+
+
+# ------------------------------------------------- full strategy rounds
+def run_strategy_rounds(make, d, seed, deltas, shard_count=None, backend="serial"):
+    """Drive a strategy through full rounds; return per-round deltas."""
+    strategy = make()
+    strategy.setup(d, np.random.default_rng(seed), dtype=np.float64)
+    rt = None
+    if shard_count is not None:
+        rt = ShardingRuntime(d, shard_count, backend=backend)
+        strategy.bind_sharding(rt)
+    out = []
+    try:
+        for t, round_deltas in enumerate(deltas, start=1):
+            strategy.begin_round(t)
+            payloads = [
+                (cid, w, strategy.client_compress(cid, delta, w))
+                for cid, w, delta in round_deltas
+            ]
+            agg = strategy.aggregate(payloads)
+            strategy.end_round(agg, t)
+            out.append((agg.global_delta.copy(), agg.changed_idx.copy()))
+    finally:
+        if rt is not None:
+            rt.close()
+    return out
+
+
+@given(
+    d=st.integers(30, 200),
+    shard_count=st.sampled_from([2, 7, 16]),
+    backend=st.sampled_from(["serial", "thread"]),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=20, deadline=None)
+def test_gluefl_rounds_bit_identical(d, shard_count, backend, seed):
+    rng = np.random.default_rng(seed)
+    deltas = [
+        [
+            (cid, float(rng.uniform(0.5, 2.0)), rng.normal(size=d))
+            for cid in range(3)
+        ]
+        for _ in range(3)
+    ]
+    make = lambda: GlueFLMaskStrategy(q=0.3, q_shr=0.15, regen_interval=2)
+    base = run_strategy_rounds(make, d, seed, deltas)
+    shard = run_strategy_rounds(
+        make, d, seed, deltas, shard_count=shard_count, backend=backend
+    )
+    for (gd_a, ci_a), (gd_b, ci_b) in zip(base, shard):
+        np.testing.assert_array_equal(gd_a, gd_b)
+        np.testing.assert_array_equal(ci_a, ci_b)
+
+
+@given(
+    d=st.integers(30, 200),
+    shard_count=st.sampled_from([2, 7, 16]),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_stc_rounds_bit_identical(d, shard_count, seed):
+    rng = np.random.default_rng(seed)
+    deltas = [
+        [
+            (cid, float(rng.uniform(0.5, 2.0)), rng.normal(size=d))
+            for cid in range(3)
+        ]
+        for _ in range(2)
+    ]
+    make = lambda: STCStrategy(q=0.25)
+    base = run_strategy_rounds(make, d, seed, deltas)
+    shard = run_strategy_rounds(make, d, seed, deltas, shard_count=shard_count)
+    for (gd_a, ci_a), (gd_b, ci_b) in zip(base, shard):
+        np.testing.assert_array_equal(gd_a, gd_b)
+        np.testing.assert_array_equal(ci_a, ci_b)
+
+
+# --------------------------------------------------- whole scheduler runs
+@pytest.fixture(scope="module")
+def prop_dataset():
+    from repro.datasets import femnist_like
+
+    return femnist_like(
+        num_clients=30,
+        num_classes=4,
+        image_size=8,
+        samples_per_client=16,
+        min_samples=5,
+        seed=11,
+    )
+
+
+@given(
+    shard_count=st.sampled_from([2, 7, 16]),
+    backend=st.sampled_from(["serial", "thread"]),
+    scheduler=st.sampled_from(["sync", "async"]),
+)
+@settings(max_examples=6, deadline=None)
+def test_scheduler_runs_bit_identical(
+    prop_dataset, shard_count, backend, scheduler
+):
+    from repro.core import make_gluefl
+    from repro.fl import FLServer, RunConfig
+
+    def run(**overrides):
+        strategy, sampler = make_gluefl(
+            4, group_size=12, sticky_count=3, q=0.25, q_shr=0.15
+        )
+        params = dict(
+            dataset=prop_dataset,
+            model_name="mlp",
+            model_kwargs={"hidden": (8,)},
+            strategy=strategy,
+            sampler=sampler,
+            rounds=3,
+            local_steps=1,
+            batch_size=8,
+            lr=0.05,
+            eval_every=10,
+            seed=5,
+            always_available=True,
+        )
+        if scheduler == "async":
+            params.update(scheduler="async", async_buffer_size=3)
+        params.update(overrides)
+        server = FLServer(RunConfig(**params))
+        try:
+            for _ in range(3):
+                server.run_round()
+            return server.global_params.copy()
+        finally:
+            server.close()
+
+    base = run()
+    got = run(shard_count=shard_count, shard_backend=backend)
+    np.testing.assert_array_equal(base, got)

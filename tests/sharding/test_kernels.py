@@ -1,0 +1,104 @@
+"""Per-shard kernels and the exact top-k candidate merge."""
+
+import numpy as np
+import pytest
+
+from repro.compression.topk import top_k_indices
+from repro.sharding import (
+    ShardSpec,
+    merge_top_candidates,
+    shard_elementwise_add,
+    shard_slice_weighted_sum,
+    shard_top_candidates,
+    shard_weighted_scatter,
+)
+
+pytestmark = pytest.mark.sharding
+
+
+def test_weighted_scatter_matches_add_at_order():
+    """The scatter kernel sees each coordinate's adds in payload order —
+    bit-identical to the unsharded np.add.at loop on that slice."""
+    rng = np.random.default_rng(1)
+    n = 50
+    items = []
+    ref = np.zeros(n, dtype=np.float32)
+    for _ in range(4):
+        idx = np.sort(rng.choice(n, size=20, replace=False)).astype(np.int64)
+        vals = rng.normal(size=20).astype(np.float32)
+        w = float(rng.uniform(0.5, 2.0))
+        items.append((w, idx, vals))
+        np.add.at(ref, idx, w * vals)
+    got = shard_weighted_scatter(n, items, np.dtype(np.float32))
+    np.testing.assert_array_equal(ref, got)
+    assert got.dtype == np.float32
+
+
+def test_weighted_scatter_empty_items():
+    out = shard_weighted_scatter(5, [], np.dtype(np.float64))
+    np.testing.assert_array_equal(out, np.zeros(5))
+
+
+def test_slice_weighted_sum_matches_inplace_loop():
+    rng = np.random.default_rng(2)
+    items = [
+        (float(rng.uniform(0.5, 2.0)), rng.normal(size=30).astype(np.float32))
+        for _ in range(5)
+    ]
+    ref = np.zeros(30, dtype=np.float32)
+    for w, vals in items:
+        ref += w * vals
+    got = shard_slice_weighted_sum(30, items, np.dtype(np.float32))
+    np.testing.assert_array_equal(ref, got)
+
+
+def test_elementwise_add_is_plain_add():
+    a = np.array([1.0, 2.0], dtype=np.float32)
+    b = np.array([0.5, -2.0], dtype=np.float32)
+    np.testing.assert_array_equal(shard_elementwise_add(a, b), a + b)
+
+
+def test_top_candidates_globalizes_indices():
+    x = np.array([0.1, -5.0, 2.0, 0.0], dtype=np.float64)
+    idx, mag = shard_top_candidates(x, 2, lo=100)
+    assert set(idx) == {101, 102}
+    np.testing.assert_allclose(np.sort(mag), [2.0, 5.0])
+    assert idx.dtype == np.int64
+
+
+def test_top_candidates_k_exceeds_shard():
+    x = np.array([1.0, -2.0], dtype=np.float64)
+    idx, mag = shard_top_candidates(x, 10, lo=0)
+    np.testing.assert_array_equal(np.sort(idx), [0, 1])
+
+
+def test_top_candidates_k_zero():
+    idx, mag = shard_top_candidates(np.ones(3), 0)
+    assert len(idx) == 0 and len(mag) == 0
+
+
+def test_merge_is_exact_vs_global_topk():
+    """Superset property: per-shard top-min(k,|shard|) candidates always
+    contain the global top-k, for every partition of the vector."""
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=257)
+    for count in (1, 2, 7, 16, 300):
+        spec = ShardSpec.build(len(x), count)
+        for k in (1, 5, 64, 256):
+            cand = [
+                shard_top_candidates(x[lo:hi], k, lo)
+                for _s, lo, hi in spec.iter_bounds()
+            ]
+            merged = merge_top_candidates(
+                [i for i, _ in cand], [m for _, m in cand], k
+            )
+            np.testing.assert_array_equal(merged, top_k_indices(x, k))
+
+
+def test_merge_returns_everything_when_short():
+    idx = [np.array([3, 7], dtype=np.int64)]
+    mag = [np.array([1.0, 2.0])]
+    np.testing.assert_array_equal(
+        merge_top_candidates(idx, mag, 10), [3, 7]
+    )
+    assert merge_top_candidates([], [], 5).dtype == np.int64

@@ -1,0 +1,90 @@
+"""Out-of-core smoke at d = 50M: the sharded server state runs real
+rounds while peak RSS stays far below what any dense pipeline would
+need, and every backing file disappears on close().
+
+Mirrors the lazy-federation RSS pattern (tests/population/
+test_lazy_materialization.py): ``ru_maxrss`` high-water delta around the
+workload, with a ceiling chosen so that materializing even *one* dense
+length-d vector would blow it — at d = 50M a single float64 array is
+400 MB and the unsharded GlueFL aggregation needs several (unique-part
+accumulator, |delta| for top-k, the dense delta itself), while the
+sharded pass peaks at one shard plus candidate buffers (~tens of MB).
+"""
+
+import os
+import resource
+
+import numpy as np
+import pytest
+
+from repro.compression.base import ClientPayload
+from repro.sharding import ShardedServerState
+
+pytestmark = [pytest.mark.sharding, pytest.mark.slow]
+
+D = 50_000_000
+K_TOTAL = 40_000
+K_SHR = 20_000
+#: ru_maxrss delta ceiling (KB): 300 MB — under one dense float64 vector
+RSS_CEILING_KB = 300 * 1024
+
+
+def sparse_payloads(rng, mask, k_uni, num_clients=3):
+    """Strategy-convention payloads built without any dense array."""
+    out = []
+    for cid in range(num_clients):
+        # replace=False via unique-then-trim: rng.choice would have to
+        # materialize a length-d candidate pool
+        raw = rng.integers(0, D, size=int(k_uni * 1.2), dtype=np.int64)
+        idx = np.unique(raw)[:k_uni]
+        out.append(
+            (
+                cid,
+                float(rng.uniform(0.5, 2.0)),
+                ClientPayload(
+                    0,
+                    data={
+                        "shr_vals": rng.normal(size=len(mask)).astype(
+                            np.float32
+                        ),
+                        "idx": idx,
+                        "vals": rng.normal(size=len(idx)).astype(np.float32),
+                    },
+                ),
+            )
+        )
+    return out
+
+
+def test_50m_rounds_stay_under_rss_ceiling_and_clean_up():
+    rss_before_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    rng = np.random.default_rng(0)
+    state = ShardedServerState(
+        D, 64, K_TOTAL, K_SHR, dtype=np.float32, backend="serial"
+    )
+    paths = state.shard_paths
+    root = state._dir
+    try:
+        assert len(paths) == 64
+        assert all(os.path.exists(p) for p in paths)
+        for _ in range(2):
+            k_uni = K_TOTAL - len(state.mask_idx)
+            changed, changed_vals = state.aggregate_round(
+                sparse_payloads(rng, state.mask_idx, k_uni)
+            )
+            assert len(changed) == len(changed_vals)
+            assert len(changed) <= 3 * K_TOTAL
+        assert len(state.mask_idx) == K_SHR
+        # spot-read across shards still works at this scale
+        probe = np.array([0, D // 2, D - 1], dtype=np.int64)
+        assert state.params_at(probe).shape == (3,)
+        rss_after_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        assert rss_after_kb - rss_before_kb < RSS_CEILING_KB, (
+            f"peak RSS grew {(rss_after_kb - rss_before_kb) / 1024:.0f} MB "
+            f"(ceiling {RSS_CEILING_KB / 1024:.0f} MB) — something "
+            "materialized a dense length-d array"
+        )
+    finally:
+        state.close()
+    assert not any(os.path.exists(p) for p in paths)
+    assert not os.path.exists(root)

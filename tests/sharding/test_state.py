@@ -1,0 +1,158 @@
+"""Out-of-core ``ShardedServerState`` vs a dense numpy reference.
+
+The reference below is the textbook (unsharded) GlueFL server round:
+Eq. 5 shared-mask weighted sum, Eq. 6 top-k over the aggregated unique
+part, the sparse update apply, and the Alg. 3 line 26 mask shift.  The
+sharded state must reproduce it bit-for-bit — parameters, deltas, and
+mask trajectory — on every backend.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.compression.base import ClientPayload
+from repro.compression.topk import top_k_indices
+from repro.sharding import ShardedServerState
+
+pytestmark = pytest.mark.sharding
+
+
+def dense_round(rng, d, mask, k_total, k_shr, num_clients=4):
+    """One reference round: payloads + expected (delta, next_mask)."""
+    k_uni = k_total - len(mask)
+    payloads = []
+    for cid in range(num_clients):
+        delta = rng.normal(size=d).astype(np.float32)
+        off_mask = np.where(np.isin(np.arange(d), mask), 0, delta)
+        uni_idx = top_k_indices(off_mask, k_uni)
+        payloads.append(
+            (
+                cid,
+                float(rng.uniform(0.5, 2.0)),
+                ClientPayload(
+                    0,
+                    data={
+                        "shr_vals": delta[mask].copy(),
+                        "idx": uni_idx,
+                        "vals": delta[uni_idx].copy(),
+                    },
+                ),
+            )
+        )
+    gd = np.zeros(d, dtype=np.float32)
+    shr = np.zeros(len(mask), dtype=np.float32)
+    uni = np.zeros(d, dtype=np.float32)
+    for _, w, p in payloads:
+        shr += w * p.data["shr_vals"]
+        np.add.at(uni, p.data["idx"], w * p.data["vals"])
+    keep = top_k_indices(uni, k_uni)
+    gd[mask] = shr
+    gd[keep] += uni[keep]
+    next_mask = np.sort(top_k_indices(gd, k_shr))
+    return payloads, gd, next_mask
+
+
+@pytest.mark.parametrize(
+    "backend,count", [("serial", 7), ("serial", 1), ("thread", 3)]
+)
+def test_multi_round_differential(backend, count):
+    rng = np.random.default_rng(42)
+    d, k_total, k_shr = 997, 120, 60
+    dense = np.zeros(d, dtype=np.float32)
+    mask = np.empty(0, dtype=np.int64)
+    with ShardedServerState(
+        d, count, k_total, k_shr, dtype=np.float32, backend=backend, workers=2
+    ) as state:
+        for _ in range(5):
+            payloads, gd, next_mask = dense_round(rng, d, mask, k_total, k_shr)
+            changed, changed_vals = state.aggregate_round(payloads)
+            sparse = np.zeros(d, dtype=np.float32)
+            sparse[changed] = changed_vals
+            np.testing.assert_array_equal(gd, sparse)
+            np.testing.assert_array_equal(next_mask, state.mask_idx)
+            dense = dense + gd
+            full = np.concatenate(
+                [state.read_shard(s) for s in range(count)]
+            )
+            np.testing.assert_array_equal(dense, full)
+            mask = next_mask
+
+
+def test_process_backend_end_to_end():
+    """The fork pool applies updates through reopened memmaps — the whole
+    round must still match the dense reference bit-for-bit."""
+    rng = np.random.default_rng(7)
+    d, k_total, k_shr = 503, 64, 32
+    mask = np.empty(0, dtype=np.int64)
+    dense = np.zeros(d, dtype=np.float32)
+    with ShardedServerState(
+        d, 4, k_total, k_shr, dtype=np.float32, backend="process", workers=2
+    ) as state:
+        for _ in range(3):
+            payloads, gd, next_mask = dense_round(rng, d, mask, k_total, k_shr)
+            state.aggregate_round(payloads)
+            dense = dense + gd
+            np.testing.assert_array_equal(next_mask, state.mask_idx)
+            mask = next_mask
+        full = np.concatenate([state.read_shard(s) for s in range(4)])
+        np.testing.assert_array_equal(dense, full)
+
+
+def test_params_at_gathers_across_shards():
+    rng = np.random.default_rng(3)
+    d = 101
+    with ShardedServerState(d, 5, 20, 10, dtype=np.float32) as state:
+        payloads, gd, _ = dense_round(
+            rng, d, np.empty(0, dtype=np.int64), 20, 10
+        )
+        state.aggregate_round(payloads)
+        probe = np.array([0, 20, 21, 55, 100], dtype=np.int64)
+        np.testing.assert_array_equal(
+            state.params_at(probe), gd[probe].astype(np.float32)
+        )
+
+
+def test_ledger_charges_changed_coordinates():
+    rng = np.random.default_rng(5)
+    d = 101
+    with ShardedServerState(d, 5, 20, 10, dtype=np.float32) as state:
+        payloads, gd, _ = dense_round(
+            rng, d, np.empty(0, dtype=np.int64), 20, 10
+        )
+        changed, _ = state.aggregate_round(payloads)
+        assert state.ledger.counts.sum() == len(changed)
+        assert state.round_idx == 1
+
+
+def test_validates_k_arguments():
+    with pytest.raises(ValueError, match="k_total"):
+        ShardedServerState(10, 2, 0, 0)
+    with pytest.raises(ValueError, match="k_total"):
+        ShardedServerState(10, 2, 11, 0)
+    with pytest.raises(ValueError, match="k_shr"):
+        ShardedServerState(10, 2, 5, 5)
+    with pytest.raises(ValueError, match="k_shr"):
+        ShardedServerState(10, 2, 5, -1)
+
+
+def test_close_is_terminal_and_cleans_files():
+    state = ShardedServerState(100, 4, 10, 5)
+    paths = state.shard_paths
+    root = state._dir
+    assert all(os.path.exists(p) for p in paths)
+    state.close()
+    state.close()  # idempotent
+    assert not any(os.path.exists(p) for p in paths)
+    assert not os.path.exists(root)
+    with pytest.raises(RuntimeError, match="closed"):
+        state.params_at(np.array([0], dtype=np.int64))
+
+
+def test_caller_supplied_mmap_dir_is_kept(tmp_path):
+    state = ShardedServerState(50, 2, 5, 2, mmap_dir=str(tmp_path))
+    state.close()
+    # the files go, the caller's directory stays
+    assert tmp_path.exists()
+    assert list(tmp_path.iterdir()) == []
