@@ -21,15 +21,31 @@ but does not stop training, partial work actually happens under
 device classes, and quorum re-draws fire (and are billed) under storms.
 """
 
+from pathlib import Path
+
 import numpy as np
+import pytest
 
 from benchmarks.conftest import run_once
+from benchmarks.run_micro_bench import (
+    POPULATION_SCALE_SIZES,
+    population_scale_run,
+)
 from repro.experiments.runner import build_config, make_strategy
 from repro.experiments.scenarios import get_scenario
 from repro.fl import run_training
 
 PRESETS = ("none", "diurnal", "device-classes", "storm")
 TARGET_ACC = 0.35
+
+#: RSS ceiling for the 10^6-client, 20-round event-driven run.  Measured
+#: ~270 MB on the reference host; the ceiling leaves headroom for
+#: allocator noise while still catching any O(N)-per-round or
+#: per-client-object regression (an eager 10^6-client federation alone
+#: would blow straight past it).
+MILLION_CLIENT_RSS_CEILING_MB = 600
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
 
 
 def time_to_accuracy(result, target):
@@ -117,3 +133,45 @@ def test_time_to_accuracy_under_device_churn(benchmark):
     assert stats["storm+quorum"][5] > 0
     assert stats["storm"][5] == 0
     assert stats["storm+quorum"][1] > stats["storm"][1]
+
+
+@pytest.mark.population
+def test_population_size_scaling(benchmark):
+    """Event-driven population + O(idle) sampling: per-round cost stays
+    flat as the federation grows 10^3 -> 10^6 clients.
+
+    Each size runs a 20-round duty-cycle workload in its own subprocess
+    (so ``ru_maxrss`` measures that run alone).  Round 1 — lazy
+    materialization warm-up and sticky init — is charged to setup; the
+    assertions hold the steady-state figure: the per-round time at 10^6
+    clients must sit within noise of 10^5 (a 10x client jump), and the
+    10^6 run must fit the pinned RSS ceiling.
+    """
+
+    def _sweep():
+        return {
+            n: population_scale_run(SRC, n, rounds=20)
+            for n in POPULATION_SCALE_SIZES
+        }
+
+    results = run_once(benchmark, _sweep)
+
+    print("\nPopulation-size scaling [event-driven, scalable sampling]")
+    for n, stats in results.items():
+        print(
+            f"  N={n:>9,d}: {stats['seconds_per_round'] * 1e3:7.2f} ms/round "
+            f"setup={stats['setup_seconds']:6.2f} s "
+            f"rss={stats['peak_rss_mb']:7.1f} MB"
+        )
+
+    per_round = {n: results[n]["seconds_per_round"] for n in results}
+    # flat in N: one order of magnitude more clients must not triple the
+    # steady-state round time (measured ratio ~1.2x; 3x = regression)
+    assert per_round[1_000_000] < 3.0 * per_round[100_000], (
+        f"per-round time scaled with N: {per_round}"
+    )
+    # bounded memory: the million-client run fits the pinned ceiling
+    assert results[1_000_000]["peak_rss_mb"] < MILLION_CLIENT_RSS_CEILING_MB
+    # monotone sanity: RSS grows with N (the columns are real) but stays
+    # far below an eager per-client representation
+    assert results[1_000_000]["peak_rss_mb"] > results[1_000]["peak_rss_mb"]

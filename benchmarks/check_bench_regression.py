@@ -40,6 +40,10 @@ def timing_entries(report: dict) -> Dict[str, float]:
         out[f"micro.{key}"] = float(value)
     for combo, stats in report.get("e2e", {}).items():
         out[f"e2e.{combo}.seconds"] = float(stats["seconds"])
+    for size, stats in report.get("population_scale", {}).items():
+        out[f"population_scale.{size}.seconds_per_round"] = float(
+            stats["seconds_per_round"]
+        )
     return out
 
 

@@ -1,0 +1,142 @@
+"""Rule ``population-column-sweep``: trace ``apply`` must not rewrite
+full population columns.
+
+The event-driven population (:mod:`repro.population`) exists so a round
+costs O(touched clients), not O(N): traces translate their dynamics into
+transition events via ``schedule`` and write index *diffs*.  A
+``DeviceTrace.apply`` body that rewrites a whole state column every round
+(``population.available[:] = ...``, ``population.connectivity *= ...``)
+silently drags every advance back to O(N) — at 10⁶ clients that is the
+difference between a population that scales and one that doesn't.
+
+The check is syntactic: inside any ``apply`` method of a trace class
+(the class or one of its bases is named ``*Trace``), the first full-slice
+assignment or whole-column augmented assignment to a known population
+column is flagged.  One finding per ``apply`` — the fix (port the trace
+to ``schedule``) is per-method, not per-line — so a single waiver above
+the first write covers the method.  Legitimate sweep bodies carry
+waivers: the legacy external-trace adapter (nothing to schedule from)
+and the sweep reference twins of traces whose primary path is
+``schedule``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.core import Checker, Finding, SourceFile, register
+
+__all__ = ["PopulationSweepChecker"]
+
+#: the DeviceStatePopulation state columns a trace may drive
+COLUMNS = {
+    "available",
+    "connectivity",
+    "responsiveness",
+    "completeness",
+    "state",
+}
+
+
+def _is_trace_class(node: ast.ClassDef) -> bool:
+    names = [node.name]
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return any(name.endswith("Trace") for name in names)
+
+
+def _column_of(node: ast.AST) -> Optional[str]:
+    """The population column an expression addresses, if any."""
+    if isinstance(node, ast.Attribute) and node.attr in COLUMNS:
+        return node.attr
+    return None
+
+
+def _is_full_slice(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Slice)
+        and node.lower is None
+        and node.upper is None
+        and node.step is None
+    )
+
+
+def _full_column_write(stmt: ast.stmt) -> Optional[str]:
+    """Column name when ``stmt`` rewrites a whole population column."""
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            # population.col[:] = ...  (full-slice rewrite)
+            if isinstance(target, ast.Subscript) and _is_full_slice(
+                target.slice
+            ):
+                col = _column_of(target.value)
+                if col is not None:
+                    return col
+            # population.col = ...  (rebinding the column array)
+            col = _column_of(target)
+            if col is not None:
+                return col
+    elif isinstance(stmt, ast.AugAssign):
+        # population.col *= ...  (whole-array in-place op)
+        col = _column_of(stmt.target)
+        if col is not None:
+            return col
+        if isinstance(stmt.target, ast.Subscript) and _is_full_slice(
+            stmt.target.slice
+        ):
+            col = _column_of(stmt.target.value)
+            if col is not None:
+                return col
+    return None
+
+
+@register
+class PopulationSweepChecker(Checker):
+    rule = "population-column-sweep"
+    description = (
+        "a trace apply() that rewrites a full population column every "
+        "round is O(N) per advance — the event-driven population exists "
+        "to avoid exactly that"
+    )
+    hint = (
+        "port the dynamics to schedule() (periodic flips or a recurring "
+        "diff-apply writing only changed indices), or waive with the "
+        "reason the O(N) sweep body must stay"
+    )
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for cls in ast.walk(source.tree):
+            if not isinstance(cls, ast.ClassDef) or not _is_trace_class(cls):
+                continue
+            for fn in cls.body:
+                if (
+                    not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    or fn.name != "apply"
+                ):
+                    continue
+                writes = [
+                    (stmt.lineno, stmt, col)
+                    for stmt in ast.walk(fn)
+                    if isinstance(stmt, ast.stmt)
+                    for col in [_full_column_write(stmt)]
+                    if col is not None
+                ]
+                if writes:
+                    # one finding per apply, at the earliest write: the
+                    # fix (port to schedule) is per-method, so a single
+                    # waiver above the first write covers it
+                    _, stmt, col = min(writes, key=lambda w: w[0])
+                    findings.append(
+                        self.finding(
+                            source,
+                            stmt,
+                            f"{cls.name}.apply rewrites the full "
+                            f"'{col}' column every round (O(N) advance)",
+                        )
+                    )
+        return findings

@@ -127,6 +127,19 @@ class CompressionStrategy:
     def begin_round(self, round_idx: int) -> None:
         """Per-round state decisions before any client work."""
 
+    def limit_residuals(self, max_clients) -> None:
+        """Apply ``RunConfig.residual_max_clients``: bound the per-client
+        residual store (if this strategy keeps one) to an LRU budget.
+
+        The base implementation binds the conventional ``self.residuals``
+        :class:`~repro.compression.error_comp.ResidualStore`; strategies
+        without residual state ignore the knob, and wrapper strategies
+        must delegate to their inner strategy.
+        """
+        store = getattr(self, "residuals", None)
+        if store is not None:
+            store.bound(max_clients)
+
     # -- downstream accounting -------------------------------------------------
     def downstream_extra_bytes(self) -> int:
         """Per-sampled-client downstream overhead beyond the value sync."""

@@ -12,14 +12,25 @@ is the one originally intended.  The ablation in Fig. 11 compares:
 * ``EC``   — plain compensation (no re-scale), which the paper shows
   *breaks* GlueFL,
 * ``REC``  — re-scaled compensation (the default).
+
+Residuals are lazily materialized per client
+(:class:`~repro.utils.client_state.LazyClientState`): a 10⁶-client run
+allocates entries only for the ever-sampled cohort, and an optional
+``max_clients`` LRU bound (``RunConfig.residual_max_clients``) caps the
+store outright — an evicted residual reads back as "no residual", i.e.
+that client's next compensation adds nothing, which is the NONE-mode
+semantics for a first-time participant.  Unbounded stores (the default)
+are bit-identical to the historical dict-backed implementation.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
+
+from repro.utils.client_state import LazyClientState
 
 __all__ = ["ErrorCompMode", "ResidualStore"]
 
@@ -37,13 +48,29 @@ class ResidualStore:
 
     Residuals are stored as float32 to bound memory (they are re-added to
     float64 deltas; the quantization error is far below compression error).
+    Each entry is a ``(chunks_or_array, weight)`` pair inside a
+    :class:`~repro.utils.client_state.LazyClientState`; ``max_clients``
+    (settable later via :meth:`bound`) turns on LRU eviction.
     """
 
-    def __init__(self, mode: ErrorCompMode = ErrorCompMode.REC):
+    def __init__(
+        self,
+        mode: ErrorCompMode = ErrorCompMode.REC,
+        *,
+        max_clients: Optional[int] = None,
+    ):
         self.mode = ErrorCompMode(mode)
-        self._residual: Dict[int, Union[np.ndarray, List[np.ndarray]]] = {}
-        self._weight: Dict[int, float] = {}
+        self._store: LazyClientState = LazyClientState(max_clients=max_clients)
         self._spec = None  # optional repro.sharding.ShardSpec
+
+    def bound(self, max_clients: Optional[int]) -> None:
+        """(Re)set the LRU residual budget (``None`` = unbounded)."""
+        self._store.bound(max_clients)
+
+    @property
+    def evictions(self) -> int:
+        """Residuals dropped by the LRU bound since construction."""
+        return self._store.evictions
 
     def partition(self, spec) -> None:
         """Store residuals as per-shard float32 chunks from now on.
@@ -56,15 +83,17 @@ class ResidualStore:
         is a concatenation of contiguous slices, so ``compensate`` is
         bit-identical to the flat store.
         """
-        if self._residual:
+        if len(self._store):
             raise RuntimeError(
                 "partition() must run before any residual is recorded"
             )
         self._spec = spec
 
-    def _stored(self, client_id: int) -> Optional[np.ndarray]:
-        h = self._residual.get(client_id)
-        if h is None or isinstance(h, np.ndarray):
+    @staticmethod
+    def _flat(
+        h: Union[np.ndarray, List[np.ndarray]]
+    ) -> np.ndarray:
+        if isinstance(h, np.ndarray):
             return h
         return np.concatenate(h)
 
@@ -82,16 +111,17 @@ class ResidualStore:
         """
         if self.mode is ErrorCompMode.NONE:
             return delta.copy()
-        h = self._stored(client_id)
-        if h is None:
+        entry = self._store.get(client_id)
+        if entry is None:
             return delta.copy()
+        h = self._flat(entry[0])
         if self.mode is ErrorCompMode.REC:
             if current_weight <= 0:
                 raise ValueError(
                     f"non-positive aggregation weight {current_weight} for "
                     f"client {client_id}"
                 )
-            scale = self._weight[client_id] / current_weight
+            scale = entry[1] / current_weight
             return delta + scale * h.astype(delta.dtype)
         return delta + h.astype(delta.dtype)
 
@@ -108,19 +138,20 @@ class ResidualStore:
             return
         h = residual.astype(np.float32, copy=False)
         if self._spec is not None:
-            self._residual[client_id] = [
+            stored: Union[np.ndarray, List[np.ndarray]] = [
                 h[lo:hi] for _s, lo, hi in self._spec.iter_bounds()
             ]
         else:
-            self._residual[client_id] = h
-        self._weight[client_id] = float(weight)
+            stored = h
+        self._store.set(client_id, (stored, float(weight)))
 
     def peek(self, client_id: int) -> Optional[Tuple[np.ndarray, float]]:
         """Inspect a stored residual (testing hook; chunked stores are
         reassembled)."""
-        if client_id not in self._residual:
+        if client_id not in self._store:
             return None
-        return self._stored(client_id), self._weight[client_id]
+        entry = self._store.get(client_id)
+        return self._flat(entry[0]), entry[1]
 
     def __len__(self) -> int:
-        return len(self._residual)
+        return len(self._store)

@@ -63,6 +63,9 @@ class QuantizedStrategy(CompressionStrategy):
     def begin_round(self, round_idx: int) -> None:
         self.inner.begin_round(round_idx)
 
+    def limit_residuals(self, max_clients) -> None:
+        self.inner.limit_residuals(max_clients)
+
     def downstream_extra_bytes(self) -> int:
         return self.inner.downstream_extra_bytes()
 

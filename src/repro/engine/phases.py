@@ -246,6 +246,12 @@ class SamplingPhase(Phase):
     def run(self, server, ctx: RoundContext) -> None:
         server.strategy.begin_round(ctx.round_idx)
         ctx.round_opened = True  # the engine aborts us if a phase raises
+        population = getattr(server, "population", None)
+        if population is not None and getattr(
+            population, "scalable_sampling", False
+        ):
+            self._run_scalable(server, ctx, population)
+            return
         ctx.available = server.availability.online(ctx.round_idx)
         if not ctx.available.any() and server.config.skip_empty_rounds:
             # a churn storm (or a DROPPED-cooldown pileup) can empty the
@@ -263,6 +269,26 @@ class SamplingPhase(Phase):
         population = getattr(server, "population", None)
         if population is not None:
             population.begin_work(ctx.draw.candidates)
+
+    @staticmethod
+    def _run_scalable(server, ctx: RoundContext, population) -> None:
+        """O(idle) draw path: sample from the population's maintained idle
+        index instead of materializing the N-wide availability mask.
+        ``ctx.available`` stays ``None`` — the only downstream consumer
+        (quorum re-draws) is rejected by ``RunConfig.validate`` under
+        scalable sampling."""
+        pool = population.idle_pool(ctx.round_idx)
+        if len(pool) == 0 and server.config.skip_empty_rounds:
+            empty = np.empty(0, dtype=np.int64)
+            ctx.draw = SampleDraw(
+                sticky=empty, nonsticky=empty,
+                quota_sticky=0, quota_nonsticky=0,
+            )
+            return
+        ctx.draw = server.sampler.draw_pool(
+            ctx.round_idx, pool, server.config.overcommit
+        )
+        population.begin_work(ctx.draw.candidates)
 
 
 class SyncAccountingPhase(Phase):

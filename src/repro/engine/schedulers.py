@@ -297,17 +297,37 @@ class AsyncBufferedScheduler(Scheduler):
 
     # -- dispatch ---------------------------------------------------------------
     def _dispatch(self, server, round_idx: int) -> None:
-        """Top the in-flight pool back up to the concurrency target."""
+        """Top the in-flight pool back up to the concurrency target.
+
+        With a device population bound, every dispatched client
+        transitions to WORKING (``begin_work``) and every drained arrival
+        returns through ``complete_work``/``drop_work`` — the continuous
+        analogue of the sync round's begin/finish bracketing, so the
+        population's state machine (and its O(active) event advance)
+        tracks in-flight clients under asynchrony too.
+        """
         want = self.concurrency - len(self._in_flight)
         if want <= 0:
             return
-        available = server.availability.online(round_idx)
+        population = getattr(server, "population", None)
         exclude = np.fromiter(
             self._in_flight.keys(), dtype=np.int64, count=len(self._in_flight)
         )
-        new = server.sampler.sample_replacements(available, exclude, want)
+        if population is not None and getattr(
+            population, "scalable_sampling", False
+        ):
+            # O(idle) path: in-flight clients are WORKING, so the pool
+            # already excludes them; ``exclude`` guards the window where
+            # a completed client re-idles before its next dispatch
+            pool = population.idle_pool(round_idx)
+            new = server.sampler.sample_replacements_pool(pool, exclude, want)
+        else:
+            available = server.availability.online(round_idx)
+            new = server.sampler.sample_replacements(available, exclude, want)
         if len(new) == 0:
             return
+        if population is not None:
+            population.begin_work(new)
 
         _, down = downstream_sync_bytes(server, new)
         self._pending_down += int(down.sum())
@@ -347,6 +367,7 @@ class AsyncBufferedScheduler(Scheduler):
         order (same RNG stream as draining one by one).
         """
         jobs: List[_InFlightJob] = []
+        population = getattr(server, "population", None)
         first_finish: Optional[float] = None
         version: Optional[int] = None
         while len(self.clock) and len(jobs) < limit:
@@ -360,6 +381,13 @@ class AsyncBufferedScheduler(Scheduler):
             del self._in_flight[cid]
             if bool(server.availability.survives_round(np.array([cid]))[0]):
                 jobs.append(job)
+                if population is not None:
+                    population.complete_work(np.array([cid], dtype=np.int64))
+            elif population is not None:
+                # lost mid-flight: sit out the dropped cooldown
+                population.drop_work(
+                    np.array([cid], dtype=np.int64), server.round_idx
+                )
         return jobs
 
     # -- one buffer flush --------------------------------------------------------
@@ -516,22 +544,44 @@ class SemiAsyncScheduler(Scheduler):
         # slices the sync phases use (downstream_sync_bytes,
         # sync_detail_rows, candidate_timings, select_participants) —
         # minus the clients still busy with an in-flight straggler task
-        available = server.availability.online(t)
-        if self._busy:
-            available = available.copy()
-            available[np.fromiter(self._busy, dtype=np.int64)] = False
-        if not available.any() and cfg.skip_empty_rounds:
-            # churn can empty the drawable pool outright (everyone offline,
-            # dropped, or busy with a straggler task): run a zero-candidate
-            # fast tier — due straggler arrivals still fold in below
-            empty = np.empty(0, dtype=np.int64)
-            draw = SampleDraw(
-                sticky=empty, nonsticky=empty,
-                quota_sticky=0, quota_nonsticky=0,
-            )
+        population = getattr(server, "population", None)
+        if population is not None and getattr(
+            population, "scalable_sampling", False
+        ):
+            # O(idle) path: busy stragglers are WORKING in the population
+            # (begin_work below), so the pool already excludes them
+            pool = population.idle_pool(t)
+            if len(pool) == 0 and cfg.skip_empty_rounds:
+                empty = np.empty(0, dtype=np.int64)
+                draw = SampleDraw(
+                    sticky=empty, nonsticky=empty,
+                    quota_sticky=0, quota_nonsticky=0,
+                )
+            else:
+                draw = server.sampler.draw_pool(t, pool, cfg.overcommit)
         else:
-            draw = server.sampler.draw(t, available, cfg.overcommit)
+            available = server.availability.online(t)
+            if self._busy:
+                available = available.copy()
+                available[np.fromiter(self._busy, dtype=np.int64)] = False
+            if not available.any() and cfg.skip_empty_rounds:
+                # churn can empty the drawable pool outright (everyone
+                # offline, dropped, or busy with a straggler task): run a
+                # zero-candidate fast tier — due straggler arrivals still
+                # fold in below
+                empty = np.empty(0, dtype=np.int64)
+                draw = SampleDraw(
+                    sticky=empty, nonsticky=empty,
+                    quota_sticky=0, quota_nonsticky=0,
+                )
+            else:
+                draw = server.sampler.draw(t, available, cfg.overcommit)
         candidates = draw.candidates
+        if population is not None:
+            # sampled candidates leave the idle pool until they return
+            # (fast tier at the deadline, stragglers when their arrival
+            # folds in) or fail mid-round (drop_work below)
+            population.begin_work(candidates)
         sync_bytes, down_per_client = downstream_sync_bytes(server, candidates)
         down_total = int(down_per_client.sum())
         mean_stale = server.staleness.mean_staleness_fraction(candidates)
@@ -553,6 +603,11 @@ class SemiAsyncScheduler(Scheduler):
         )
         sticky_survives = server.availability.survives_round(draw.sticky)
         nonsticky_survives = server.availability.survives_round(draw.nonsticky)
+        if population is not None:
+            lost = np.concatenate(
+                [draw.sticky[~sticky_survives], draw.nonsticky[~nonsticky_survives]]
+            )
+            population.drop_work(lost, t)
         selection = select_participants(
             sticky_t,
             nonsticky_t,
@@ -604,6 +659,15 @@ class SemiAsyncScheduler(Scheduler):
         self.clock.advance_to(deadline)
         for arrival in due:
             self._busy.discard(arrival.client_id)
+        if population is not None:
+            # the fast tier returned at the deadline; due stragglers
+            # returned too (even the over-lag ones whose update is
+            # discarded — the device itself came back)
+            population.complete_work(fast_ids)
+            if due:
+                population.complete_work(
+                    np.array([a.client_id for a in due], dtype=np.int64)
+                )
         kept = [a for a in due if t - a.dispatch_round <= self.max_lag]
 
         # --- weights: sampler correction for the fast tier, discounted

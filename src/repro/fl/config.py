@@ -69,6 +69,16 @@ class RunConfig:
       (phone/tablet/silo), or ``"storm"`` (periodic churn bursts).
       ``scheduler="failure"`` auto-builds the ``"storm"`` population from
       the ``failure_*`` knobs.
+    * ``population_event_driven`` — tri-state switch for the population's
+      event-driven O(active) advance: ``None`` (default) uses it whenever
+      the trace supports scheduling, ``True`` requires it, ``False``
+      forces the legacy full-column sweep.  Bit-identical either way.
+    * ``population_scalable_sampling`` — draw cohorts from the
+      population's maintained idle index (O(idle) per draw) instead of
+      N-wide availability masks; a different RNG stream, so opt-in.
+    * ``residual_max_clients`` — bound the server's per-client residual
+      stores to an LRU budget (evicted clients lose only their error
+      compensation).
     * ``quorum_fraction`` / ``redraw_max_attempts`` / ``redraw_backoff_s``
       — graceful degradation: when a round's surviving cohort falls below
       ``quorum_fraction · K``, the timing phase re-draws fresh candidates
@@ -249,6 +259,24 @@ class RunConfig:
     population_max_responsiveness: float = 8.0
     #: rounds a mid-round-dropped client sits out before rejoining the pool
     population_dropped_cooldown: int = 1
+    #: tri-state: None (default) advances the population through its event
+    #: queue (O(touched clients) per round) whenever the trace's
+    #: ``schedule`` hook supports it, sweeping otherwise; True requires
+    #: event support (construction fails on traces without it); False
+    #: forces the legacy full-column sweep.  Bit-identical either way
+    population_event_driven: Optional[bool] = None
+    #: sample cohorts from the population's maintained idle index
+    #: (:class:`~repro.population.IdlePool`, O(idle) per draw) instead of
+    #: building N-wide availability masks.  A *different RNG stream* than
+    #: the mask-based draw — cohorts differ for the same seed — so it is
+    #: opt-in; requires an event-driven population, a pool-capable
+    #: sampler (``supports_pool_draw``), and no ``quorum_fraction``
+    population_scalable_sampling: bool = False
+    #: bound every per-client residual store the strategy keeps (error
+    #: compensation) to an LRU of this many clients; an evicted client
+    #: loses only its accumulated compensation (its next update is
+    #: uncompensated, never wrong).  None (the default) keeps all N
+    residual_max_clients: Optional[int] = None
     #: graceful degradation: minimum surviving cohort, as a fraction of the
     #: sampler's K, below which the timing phase re-draws fresh candidates
     #: (None disables quorum checking).  Sync-shaped schedulers only
@@ -510,6 +538,51 @@ class RunConfig:
             raise ValueError("redraw_max_attempts must be >= 0")
         if self.redraw_backoff_s < 0:
             raise ValueError("redraw_backoff_s must be >= 0")
+        if self.population_event_driven is not None and not isinstance(
+            self.population_event_driven, bool
+        ):
+            raise ValueError(
+                "population_event_driven must be True, False, or None"
+            )
+        if not isinstance(self.population_scalable_sampling, bool):
+            raise ValueError("population_scalable_sampling must be a bool")
+        if self.population_scalable_sampling:
+            if (
+                self.population is None
+                and self.population_preset is None
+                and self.scheduler != "failure"
+            ):
+                raise ValueError(
+                    "population_scalable_sampling draws from a device "
+                    "population's idle index; set population/"
+                    "population_preset (or scheduler='failure', which "
+                    "auto-builds one)"
+                )
+            if self.population_event_driven is False:
+                raise ValueError(
+                    "population_scalable_sampling needs the event-driven "
+                    "population (the sweep path does not maintain an idle "
+                    "index); unset population_event_driven=False"
+                )
+            if not getattr(self.sampler, "supports_pool_draw", False):
+                raise ValueError(
+                    f"sampler {type(self.sampler).__name__} has no O(idle) "
+                    "pool draw (supports_pool_draw=False) — its policy "
+                    "needs a dense availability mask, which scalable "
+                    "sampling exists to avoid"
+                )
+            if self.quorum_fraction is not None:
+                raise ValueError(
+                    "quorum_fraction re-draws against a dense availability "
+                    "mask snapshot, which scalable sampling never builds — "
+                    "set at most one of the two"
+                )
+        if self.residual_max_clients is not None and (
+            not isinstance(self.residual_max_clients, int)
+            or isinstance(self.residual_max_clients, bool)
+            or self.residual_max_clients < 1
+        ):
+            raise ValueError("residual_max_clients must be >= 1 (or None)")
         if self.privacy_mode not in PRIVACY_MODES:
             raise ValueError(
                 f"unknown privacy_mode {self.privacy_mode!r}; "

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.fl.aggregation import equal_weights, horvitz_thompson_weights
 from repro.fl.samplers import ClientSampler, SampleDraw
+from repro.utils.client_state import LazyClientState
 
 __all__ = [
     "MDSampler",
@@ -242,24 +243,37 @@ class UpdateNormEstimator:
     Unknown clients are treated *optimistically*: their estimate is the
     maximum known norm (or 1.0 before any observation), so a norm-aware
     sampler keeps exploring clients it has never aggregated.
+
+    Observations are lazily materialized
+    (:class:`~repro.utils.client_state.LazyClientState`): only ever-
+    aggregated clients hold an entry, so the estimator costs O(cohort)
+    memory at fleet scale.  ``estimates()`` still returns the dense
+    N-vector the PPS draw needs — that allocation is per-draw, not
+    resident state.
     """
 
     def __init__(self, num_clients: int, smoothing: float = 0.3):
         if not 0.0 < smoothing <= 1.0:
             raise ValueError("smoothing must be in (0, 1]")
         self.smoothing = smoothing
-        self._est = np.full(num_clients, np.nan)
+        self.num_clients = num_clients
+        self._est = LazyClientState()
+
+    @property
+    def materialized_clients(self) -> int:
+        """How many clients hold an observation (= ever aggregated)."""
+        return len(self._est)
 
     def observe(self, client_id: int, norm: float) -> None:
         if norm < 0:
             raise ValueError("update norms are non-negative")
         cid = int(client_id)
-        old = self._est[cid]
-        if np.isnan(old):
-            self._est[cid] = norm
+        old = self._est.get(cid)
+        if old is None:
+            self._est.set(cid, float(norm))
         else:
-            self._est[cid] = (
-                (1.0 - self.smoothing) * old + self.smoothing * norm
+            self._est.set(
+                cid, (1.0 - self.smoothing) * old + self.smoothing * norm
             )
 
     def estimates(self) -> np.ndarray:
@@ -268,9 +282,13 @@ class UpdateNormEstimator:
         A small floor keeps every probability positive — Horvitz–Thompson
         weights divide by π, so no available client may become unreachable.
         """
-        known = self._est[~np.isnan(self._est)]
-        prior = float(known.max()) if len(known) else 1.0
-        filled = np.where(np.isnan(self._est), max(prior, 1e-12), self._est)
+        known = self._est.values_by_id()
+        prior = float(max(known.values())) if known else 1.0
+        filled = np.full(self.num_clients, max(prior, 1e-12))
+        if known:
+            ids = np.fromiter(known.keys(), dtype=np.int64, count=len(known))
+            vals = np.fromiter(known.values(), dtype=float, count=len(known))
+            filled[ids] = vals
         floor = 1e-3 * max(prior, 1e-12)
         return np.maximum(filled, floor)
 
@@ -450,6 +468,21 @@ class DynamicScheduleSampler(ClientSampler):
     ) -> SampleDraw:
         self.inner.k = self.budget_at(round_idx)
         return self.inner.draw(round_idx, available, overcommit)
+
+    @property
+    def supports_pool_draw(self) -> bool:
+        # class attributes resolve on the base class before __getattr__
+        # runs, so the pool capability must delegate explicitly
+        return self.inner.supports_pool_draw
+
+    def draw_pool(
+        self, round_idx: int, pool, overcommit: float = 1.0
+    ) -> SampleDraw:
+        self.inner.k = self.budget_at(round_idx)
+        return self.inner.draw_pool(round_idx, pool, overcommit)
+
+    def sample_replacements_pool(self, pool, exclude, count: int):
+        return self.inner.sample_replacements_pool(pool, exclude, count)
 
     def complete_round(
         self, sticky_used: np.ndarray, nonsticky_used: np.ndarray

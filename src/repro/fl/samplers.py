@@ -98,6 +98,14 @@ class ClientSampler:
     #: silently ignoring their policy
     supports_async: bool = True
 
+    #: set True on samplers that implement :meth:`draw_pool` — the
+    #: O(idle) draw path an event-driven population offers via
+    #: :class:`~repro.population.population.IdlePool` when
+    #: ``RunConfig.population_scalable_sampling`` is on.  The config
+    #: rejects the knob for samplers that leave this False (their policy
+    #: needs a dense availability mask)
+    supports_pool_draw: bool = False
+
     def __init__(self, num_to_sample: int):
         if num_to_sample <= 0:
             raise ValueError("num_to_sample must be positive")
@@ -208,6 +216,37 @@ class ClientSampler:
             pool, size=take, replace=False, p=probs
         ).astype(np.int64)
 
+    def draw_pool(
+        self, round_idx: int, pool, overcommit: float = 1.0
+    ) -> SampleDraw:
+        """O(idle) analogue of :meth:`draw` over an ``IdlePool``.
+
+        ``pool`` is the population's maintained idle index
+        (:class:`~repro.population.population.IdlePool`); the draw must
+        touch only O(k + |pool interactions|) work, never an N-wide mask.
+        Note this is a *different RNG stream* than :meth:`draw` — rounds
+        sampled through the pool are not bit-identical to mask-based
+        rounds, which is why ``population_scalable_sampling`` is opt-in.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support pool draws"
+        )
+
+    def sample_replacements_pool(
+        self, pool, exclude, count: int
+    ) -> np.ndarray:
+        """O(count) analogue of :meth:`sample_replacements` over a pool.
+
+        Uniform without replacement over the idle pool minus ``exclude``
+        (in-flight clients).  Norm-aware dispatch biasing
+        (:meth:`replacement_scores`) is *not* applied on this path — the
+        config restricts scalable sampling to samplers whose replacement
+        policy is uniform.
+        """
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        return pool.sample(self._rng, count, exclude=exclude)
+
     @staticmethod
     def _extras(overcommit: float, k: int) -> int:
         if overcommit < 1.0:
@@ -226,6 +265,22 @@ class UniformSampler(ClientSampler):
     monotone in q does not make it an upper bound across sampling
     schemes.  Use :class:`PoissonSampler` when amplification matters.
     """
+
+    supports_pool_draw = True
+
+    def draw_pool(
+        self, round_idx: int, pool, overcommit: float = 1.0
+    ) -> SampleDraw:
+        want = min(self.k + self._extras(overcommit, self.k), len(pool))
+        if want == 0:
+            raise RuntimeError(f"no clients available in round {round_idx}")
+        chosen = pool.sample(self._rng, want)
+        return SampleDraw(
+            sticky=np.empty(0, dtype=np.int64),
+            nonsticky=chosen,
+            quota_sticky=0,
+            quota_nonsticky=min(self.k, want),
+        )
 
     def draw(
         self, round_idx: int, available: np.ndarray, overcommit: float = 1.0
@@ -311,6 +366,8 @@ class StickySampler(ClientSampler):
         30%, 50% alternatives in Table 3a).
     """
 
+    supports_pool_draw = True
+
     def __init__(
         self,
         num_to_sample: int,
@@ -374,6 +431,43 @@ class StickySampler(ClientSampler):
         return SampleDraw(
             sticky=sticky.astype(np.int64),
             nonsticky=nonsticky.astype(np.int64),
+            quota_sticky=quota_sticky,
+            quota_nonsticky=quota_non,
+        )
+
+    def draw_pool(
+        self, round_idx: int, pool, overcommit: float = 1.0
+    ) -> SampleDraw:
+        """Same quota split as :meth:`draw`, but O(S + k) instead of O(N).
+
+        The sticky bucket is tiny (S clients), so probing the pool for the
+        group's idle members is cheap; the non-sticky bucket draws from
+        the pool directly with the sticky group excluded.
+        """
+        sticky_pool = np.sort(
+            self.sticky_group[pool.contains(self.sticky_group)]
+        )
+        share = (
+            self.oc_sticky_share
+            if self.oc_sticky_share is not None
+            else self.sticky_count / self.k
+        )
+        extras = self._extras(overcommit, self.k)
+        extra_sticky = int(round(extras * share))
+        extra_non = extras - extra_sticky
+
+        want_sticky = min(self.sticky_count + extra_sticky, len(sticky_pool))
+        quota_sticky = min(self.sticky_count, want_sticky)
+        nonsticky_eligible = len(pool) - len(sticky_pool)
+        want_non = min(
+            self.k - quota_sticky + extra_non, nonsticky_eligible
+        )
+        sticky = self._rng.choice(sticky_pool, size=want_sticky, replace=False)
+        nonsticky = pool.sample(self._rng, want_non, exclude=self.sticky_group)
+        quota_non = min(self.k - quota_sticky, len(nonsticky))
+        return SampleDraw(
+            sticky=sticky.astype(np.int64),
+            nonsticky=nonsticky,
             quota_sticky=quota_sticky,
             quota_nonsticky=quota_non,
         )

@@ -116,6 +116,11 @@ class FLServer:
             self.strategy.bind_sharding(self.sharding)
         else:
             self.sharding = None
+        if config.residual_max_clients is not None:
+            # bound per-client error-compensation state to an LRU budget;
+            # wrappers delegate the call down to the strategy that owns
+            # the store (see CompressionStrategy.limit_residuals)
+            self.strategy.limit_residuals(config.residual_max_clients)
         self.sampler = config.sampler
         self.sampler.setup(self.n, self.rngs("sampler"))
 
@@ -162,6 +167,16 @@ class FLServer:
                     f"population models {self.population.num_clients} "
                     f"clients but the dataset has {self.n}"
                 )
+            if config.population_scalable_sampling:
+                if not getattr(self.population, "event_driven", False):
+                    raise ValueError(
+                        "population_scalable_sampling needs an event-driven "
+                        "population (only the event path maintains the idle "
+                        "index); this population runs the sweep"
+                    )
+                # presets inherit the flag at construction; an explicit
+                # population object is marked here
+                self.population.scalable_sampling = True
             self.availability = self.population
         self.staleness = StalenessTracker(self.d, self.n)
         self.trainer = LocalTrainer(

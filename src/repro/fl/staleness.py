@@ -6,6 +6,12 @@ last synchronized to.  When a client is contacted, it must download exactly
 the coordinates that changed since its last sync (§2.3) — for FedAvg that
 is always everything; for masking strategies it is the union of the
 per-round masks over the skipped rounds, which is what Fig. 2b measures.
+
+Per-client ``last_sync`` state is lazily materialized
+(:class:`~repro.utils.client_state.LazyClientState`): a client that was
+never contacted holds no entry and reads as version −1 (must download the
+full dense model), so a 10⁶-client run stores sync versions only for the
+ever-sampled cohort instead of an N-wide column.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.network.encoding import dense_bytes, sparse_bytes, sparse_bytes_many
+from repro.utils.client_state import LazyClientState
 
 __all__ = ["StalenessTracker"]
 
@@ -20,9 +27,9 @@ __all__ = ["StalenessTracker"]
 class StalenessTracker:
     """Tracks ``last_modified`` per coordinate and ``last_sync`` per client.
 
-    Version 0 is the initial model; clients with ``last_sync == -1`` have
-    never been contacted and must download the full dense model (their
-    first check-in ships the whole state).
+    Version 0 is the initial model; clients that were never contacted
+    (no materialized ``last_sync`` entry, read as −1) must download the
+    full dense model — their first check-in ships the whole state.
     """
 
     def __init__(self, d: int, num_clients: int):
@@ -32,7 +39,22 @@ class StalenessTracker:
         self.num_clients = num_clients
         self.version = 0
         self.last_modified = np.zeros(d, dtype=np.int64)
-        self.last_sync = np.full(num_clients, -1, dtype=np.int64)
+        self._last_sync = LazyClientState()
+
+    @property
+    def materialized_clients(self) -> int:
+        """How many clients hold a ``last_sync`` entry (= ever contacted)."""
+        return len(self._last_sync)
+
+    def last_sync_of(self, client_ids: np.ndarray) -> np.ndarray:
+        """Vectorized ``last_sync`` reads (−1 = never contacted)."""
+        client_ids = np.asarray(client_ids)
+        get = self._last_sync.get
+        return np.fromiter(
+            (get(int(c), -1) for c in client_ids),
+            dtype=np.int64,
+            count=len(client_ids),
+        )
 
     def record_update(self, changed_idx: np.ndarray) -> int:
         """Advance the model version; ``changed_idx`` now carry it."""
@@ -43,7 +65,7 @@ class StalenessTracker:
 
     def stale_count(self, client_id: int) -> int:
         """How many coordinates the client must download right now."""
-        last = self.last_sync[client_id]
+        last = self._last_sync.get(int(client_id), -1)
         if last < 0:
             return self.d
         return int((self.last_modified > last).sum())
@@ -59,7 +81,7 @@ class StalenessTracker:
         hist = np.bincount(self.last_modified, minlength=self.version + 1)
         # changed_after[v] = #coords with last_modified > v
         suffix = np.concatenate([np.cumsum(hist[::-1])[::-1], [0]])
-        last = self.last_sync[client_ids]
+        last = self.last_sync_of(client_ids)
         lookup = suffix[np.minimum(last + 1, self.version + 1)]
         return np.where(last < 0, self.d, lookup).astype(np.int64, copy=False)
 
@@ -70,21 +92,21 @@ class StalenessTracker:
         ``RoundRecord.sync_details``: under the sync scheduler exactly one
         update is applied per round, so the version gap is the round gap.
         """
-        last = self.last_sync[np.asarray(client_ids)]
+        last = self.last_sync_of(client_ids)
         return np.where(last < 0, -1, self.version - last).astype(
             np.int64, copy=False
         )
 
     def stale_positions(self, client_id: int) -> np.ndarray:
         """Exact coordinate set the client must download (diagnostics)."""
-        last = self.last_sync[client_id]
+        last = self._last_sync.get(int(client_id), -1)
         if last < 0:
             return np.arange(self.d, dtype=np.int64)
         return np.flatnonzero(self.last_modified > last)
 
     def download_bytes(self, client_id: int) -> int:
         """Wire size of the value sync for one client (no strategy extras)."""
-        last = self.last_sync[client_id]
+        last = self._last_sync.get(int(client_id), -1)
         if last < 0:
             return dense_bytes(self.d)
         return sparse_bytes(self.stale_count(client_id), self.d)
@@ -94,14 +116,16 @@ class StalenessTracker:
         client_ids = np.asarray(client_ids)
         counts = self.stale_counts(client_ids)
         return np.where(
-            self.last_sync[client_ids] < 0,
+            self.last_sync_of(client_ids) < 0,
             dense_bytes(self.d),
             sparse_bytes_many(counts, self.d),
         ).astype(np.int64, copy=False)
 
     def mark_synced(self, client_ids: np.ndarray) -> None:
         """Record that these clients now hold the current version."""
-        self.last_sync[np.asarray(client_ids)] = self.version
+        version = self.version
+        for cid in np.asarray(client_ids).ravel():
+            self._last_sync.set(int(cid), version)
 
     def mean_staleness_fraction(self, client_ids: np.ndarray) -> float:
         """Average fraction of the model the given clients would download."""

@@ -8,14 +8,24 @@ classic availability-trace protocol, so the server plugs it in as its
 availability model unchanged; :mod:`repro.population.traces` provides the
 per-round dynamics (duty-cycle, diurnal, device classes, churn storms) and
 the ``population_preset`` registry.
+
+Populations advance either by the legacy O(N) column sweep or — whenever
+the trace's ``schedule`` hook supports it, which all built-in traces do —
+by draining transition events from a
+:class:`~repro.population.events.PopulationEventQueue`, touching only the
+clients that actually change state.  The event path is bit-identical to
+the sweep and exposes :class:`~repro.population.population.IdlePool` for
+O(idle) sampler draws at fleet scale.
 """
 
+from repro.population.events import PopulationEventQueue
 from repro.population.population import (
     DROPPED,
     IDLE,
     OFFLINE,
     WORKING,
     DeviceStatePopulation,
+    IdlePool,
 )
 from repro.population.traces import (
     POPULATION_PRESETS,
@@ -31,6 +41,8 @@ from repro.population.traces import (
 
 __all__ = [
     "DeviceStatePopulation",
+    "IdlePool",
+    "PopulationEventQueue",
     "IDLE",
     "WORKING",
     "OFFLINE",

@@ -28,12 +28,35 @@ The population *is* the server's availability model: it duck-types the
 ``survives_round``, ``burst_survives``, ``straggler_mask``) so every
 scheduler consumes it unchanged, and adds the state-machine API the engine
 phases drive (``begin_work`` → ``finish_round``).  State advances once per
-round, on the first ``online(round_idx)`` call: expired drops revive, the
-bound :class:`~repro.population.traces.DeviceTrace` rewrites the columns,
-and non-working devices settle into idle/offline.
+round, on the first ``online(round_idx)`` call.
+
+Two advance disciplines share that contract:
+
+sweep mode (legacy)
+    Expired drops revive by an O(N) scan, the bound
+    :class:`~repro.population.traces.DeviceTrace` rewrites full columns in
+    ``apply``, and every non-working device re-settles.  Any trace works
+    here, including arbitrary user subclasses that poke columns directly.
+
+event mode (default whenever the trace supports it)
+    At bind time the trace converts its dynamics into transition events on
+    a :class:`~repro.population.events.PopulationEventQueue`; ``advance``
+    drains due events and settles *only the touched ids*, drop-cooldown
+    revivals are scheduled events instead of scans, and a maintained
+    idle-index structure (``idle_pool``) lets samplers draw from O(idle)
+    without N-wide masks.  ``state_counts`` reads O(1) counters maintained
+    at transition time.  The event path is bit-identical to the sweep for
+    every built-in trace (the differential suite in
+    ``tests/properties/test_props_population_events.py`` proves it);
+    custom traces that only implement ``apply`` silently keep the sweep.
+    In event mode, mutate ``state`` only through the API
+    (``begin_work`` / ``complete_work`` / ``drop_work`` /
+    ``finish_round``) — direct pokes desync the counters and idle index.
 
 >>> import numpy as np
 >>> pop = DeviceStatePopulation(4, np.random.default_rng(0))
+>>> pop.event_driven                # StaticTrace schedules trivially
+True
 >>> pop.online(1).tolist()
 [True, True, True, True]
 >>> pop.begin_work(np.array([0, 1]))
@@ -47,19 +70,25 @@ and non-working devices settle into idle/offline.
 >>> pop.state_counts() == {"idle": 4, "working": 0, "offline": 0,
 ...                        "dropped": 0}
 True
+>>> pool = pop.idle_pool(3)         # O(idle) sampling view
+>>> sorted(pool.ids.tolist()), len(pool)
+([0, 1, 2, 3], 4)
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 import numpy as np
+
+from repro.population.events import PopulationEventQueue
 
 __all__ = [
     "IDLE",
     "WORKING",
     "OFFLINE",
     "DROPPED",
+    "IdlePool",
     "DeviceStatePopulation",
 ]
 
@@ -67,6 +96,87 @@ IDLE = 0
 WORKING = 1
 OFFLINE = 2
 DROPPED = 3
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+def _as_ids(client_ids) -> np.ndarray:
+    return np.asarray(client_ids, dtype=np.int64)
+
+
+class _ReviveEvent:
+    """Scheduled drop-cooldown expiry: settle the ids back in by their
+    current availability (the event-mode replacement for the sweep's
+    O(N) ``state == DROPPED`` scan)."""
+
+    __slots__ = ("ids",)
+
+    def __init__(self, ids: np.ndarray) -> None:
+        self.ids = ids
+
+    def __call__(self, population, fire_round: int) -> None:
+        population._revive(self.ids)
+
+
+class IdlePool:
+    """O(idle) view over the population's maintained idle index.
+
+    Handed to samplers via :meth:`DeviceStatePopulation.idle_pool` so
+    draws never materialize an N-wide boolean mask.  ``sample`` uses
+    batched rejection sampling over the dense id array — O(k) for k
+    requested ids — and is a *different RNG stream* than the mask-based
+    ``draw`` path (scalable sampling is opt-in for exactly that reason).
+    """
+
+    __slots__ = ("_pop",)
+
+    def __init__(self, population: "DeviceStatePopulation") -> None:
+        self._pop = population
+
+    def __len__(self) -> int:
+        return int(self._pop._idle_len)
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Dense array of the currently idle client ids (unordered)."""
+        return self._pop._idle_ids[: self._pop._idle_len]
+
+    def contains(self, client_ids) -> np.ndarray:
+        """Boolean mask: which of ``client_ids`` are idle right now."""
+        return self._pop.state[_as_ids(client_ids)] == IDLE
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        size: int,
+        exclude: Optional[Iterable[int]] = None,
+    ) -> np.ndarray:
+        """Draw up to ``size`` distinct idle ids uniformly, skipping
+        ``exclude``; returns fewer when the eligible pool is smaller."""
+        n = len(self)
+        seen = {int(c) for c in exclude} if exclude is not None else set()
+        if n == 0 or size <= 0:
+            return _EMPTY_IDS.copy()
+        eligible = n
+        if seen:
+            exc = np.fromiter(seen, dtype=np.int64, count=len(seen))
+            in_range = exc[(exc >= 0) & (exc < self._pop.num_clients)]
+            eligible = n - int(np.count_nonzero(self.contains(in_range)))
+        size = min(int(size), eligible)
+        ids = self.ids
+        chosen: list = []
+        while len(chosen) < size:
+            need = size - len(chosen)
+            draw = rng.integers(0, n, size=max(2 * need, 16))
+            for idx in draw:
+                cid = int(ids[idx])
+                if cid in seen:
+                    continue
+                seen.add(cid)
+                chosen.append(cid)
+                if len(chosen) == size:
+                    break
+        return np.asarray(chosen, dtype=np.int64)
 
 
 class DeviceStatePopulation:
@@ -81,7 +191,7 @@ class DeviceStatePopulation:
         Source of the mid-round survival draws (the same role the
         availability trace's RNG plays).
     trace:
-        A :class:`~repro.population.traces.DeviceTrace` that rewrites the
+        A :class:`~repro.population.traces.DeviceTrace` that drives the
         columns each round; ``None`` keeps the constructor baselines
         (always available, uniform connectivity).
     dropout_prob:
@@ -90,6 +200,15 @@ class DeviceStatePopulation:
     dropped_cooldown:
         How many rounds a mid-round-dropped client sits out before
         returning to the idle pool (0 = back next round).
+    event_driven:
+        ``None`` (default) enables the event-driven advance whenever the
+        trace's ``schedule`` hook supports it and falls back to the sweep
+        otherwise; ``True`` requires event support (raises if the trace
+        has none); ``False`` forces the legacy sweep (the differential
+        suite's reference path).
+    scalable_sampling:
+        Advisory flag the engine reads to route sampling through
+        :meth:`idle_pool` instead of N-wide ``online`` masks.
     """
 
     def __init__(
@@ -100,6 +219,8 @@ class DeviceStatePopulation:
         *,
         dropout_prob: float = 0.0,
         dropped_cooldown: int = 1,
+        event_driven: Optional[bool] = None,
+        scalable_sampling: bool = False,
     ):
         if num_clients <= 0:
             raise ValueError("num_clients must be positive")
@@ -132,17 +253,140 @@ class DeviceStatePopulation:
         self.base_responsiveness = self.responsiveness.copy()
         self.base_completeness = self.completeness.copy()
 
+        # -- transition bookkeeping (event mode keeps these live; the
+        #    sweep rebuilds the idle index lazily via ``_idle_dirty``)
+        self.events = PopulationEventQueue()
+        self._working_set: set = set()
+        self._pending_settle: list = []
+        self._touch_buf: Optional[list] = None
+        self._counts = np.zeros(4, dtype=np.int64)
+        self._counts[IDLE] = n
+        self._idle_ids = np.empty(n, dtype=np.int64)
+        self._idle_pos = np.full(n, -1, dtype=np.int64)
+        self._idle_len = 0
+        self._idle_dirty = True
+
+        scheduled = False
+        if event_driven is None or event_driven:
+            scheduled = bool(trace.schedule(self, self.events))
+        if event_driven and not scheduled:
+            raise ValueError(
+                f"trace {type(trace).__name__} has no event schedule; "
+                "event_driven=True needs a trace whose schedule() hook "
+                "returns True (or event_driven=None to auto-fallback)"
+            )
+        self.event_driven = scheduled
+        self.scalable_sampling = bool(scalable_sampling)
+        if self.event_driven:
+            # settle everyone once against the trace's round-0
+            # availability and seed the idle index — the only O(N) settle
+            # the event path ever pays
+            off = np.flatnonzero(~self.available)
+            self.state[off] = OFFLINE
+            self._counts[IDLE] = n - len(off)
+            self._counts[OFFLINE] = len(off)
+            self._idle_add(np.flatnonzero(self.available))
+            self._idle_dirty = False
+
+    # -- idle-index maintenance ----------------------------------------------------
+    def _idle_add(self, ids: np.ndarray) -> None:
+        k = len(ids)
+        if not k:
+            return
+        end = self._idle_len + k
+        self._idle_ids[self._idle_len : end] = ids
+        self._idle_pos[ids] = np.arange(self._idle_len, end, dtype=np.int64)
+        self._idle_len = end
+
+    def _idle_remove(self, ids: np.ndarray) -> None:
+        k = len(ids)
+        if not k:
+            return
+        pos = self._idle_pos[ids]
+        new_len = self._idle_len - k
+        holes = pos[pos < new_len]
+        self._idle_pos[ids] = -1
+        tail = self._idle_ids[new_len : self._idle_len]
+        movers = tail[self._idle_pos[tail] >= 0]
+        self._idle_ids[holes] = movers
+        self._idle_pos[movers] = holes
+        self._idle_len = new_len
+
+    def _transition(self, ids: np.ndarray, new_state: int) -> None:
+        """Event-mode state write for unique ``ids`` with live counters
+        and idle-index upkeep."""
+        if not len(ids):
+            return
+        old = self.state[ids]
+        self.state[ids] = new_state
+        self._counts -= np.bincount(old, minlength=4)
+        self._counts[new_state] += len(ids)
+        if new_state == IDLE:
+            self._idle_add(ids[old != IDLE])
+        else:
+            self._idle_remove(ids[old == IDLE])
+
+    def _settle_ids(self, ids: np.ndarray) -> None:
+        """Event-mode settle: idle/offline per ``available`` for the
+        touched, non-working, non-dropped ids only."""
+        st = self.state[ids]
+        ids = ids[(st != WORKING) & (st != DROPPED)]
+        if not len(ids):
+            return
+        old = self.state[ids]
+        new = np.where(self.available[ids], IDLE, OFFLINE).astype(np.int8)
+        changed = old != new
+        if not changed.any():
+            return
+        cids = ids[changed]
+        cnew = new[changed]
+        cold = old[changed]
+        self.state[cids] = cnew
+        self._counts -= np.bincount(cold, minlength=4)
+        self._counts += np.bincount(cnew, minlength=4)
+        self._idle_remove(cids[cold == IDLE])
+        self._idle_add(cids[cnew == IDLE])
+
+    def _revive(self, ids: np.ndarray) -> None:
+        """Drop-cooldown expiry (event mode): settle straight from
+        ``DROPPED`` into idle/offline by current availability."""
+        ids = ids[self.state[ids] == DROPPED]
+        if not len(ids):
+            return
+        new = np.where(self.available[ids], IDLE, OFFLINE).astype(np.int8)
+        self.state[ids] = new
+        self._counts[DROPPED] -= len(ids)
+        self._counts += np.bincount(new, minlength=4)
+        self._idle_add(ids[new == IDLE])
+
+    # -- trace-facing column writes ------------------------------------------------
+    def set_available(self, ids: np.ndarray, value: bool) -> None:
+        """Event-action helper: flip ``available`` for ``ids`` and queue
+        them for settling at the end of the current ``advance``."""
+        self.available[ids] = value
+        self.note_available_changed(ids)
+
+    def note_available_changed(self, ids) -> None:
+        """Record ids whose ``available`` bit an event action rewrote in
+        place, so ``advance`` re-settles exactly those."""
+        if self._touch_buf is not None and len(ids):
+            self._touch_buf.append(_as_ids(ids))
+
     # -- round state machine -----------------------------------------------------
     def advance(self, round_idx: int) -> None:
         """Advance the state columns to ``round_idx`` (idempotent per round).
 
-        Revives expired drops, lets the device trace rewrite the columns,
-        then settles every non-working, non-dropped device into
-        idle/offline per the refreshed ``available`` mask.
+        Sweep mode revives expired drops, lets the device trace rewrite
+        the columns, then settles every non-working, non-dropped device.
+        Event mode drains due transition events and settles only the
+        touched ids — O(transitions), not O(N).
         """
         if round_idx == self._round:
             return
         self._round = round_idx
+        if self.event_driven:
+            self._advance_events(round_idx)
+            return
         revive = (self.state == DROPPED) & (round_idx > self._drop_until)
         self.state[revive] = IDLE
         self.trace.apply(self, round_idx)
@@ -150,9 +394,27 @@ class DeviceStatePopulation:
         self.state[settled] = np.where(
             self.available[settled], IDLE, OFFLINE
         ).astype(np.int8)
+        self._idle_dirty = True
+
+    def _advance_events(self, round_idx: int) -> None:
+        touched: list = list(self._pending_settle)
+        self._pending_settle = []
+        self._touch_buf = touched
+        try:
+            for fire_round, action in self.events.pop_due(round_idx):
+                action(self, fire_round)
+            for action in self.events.recurring:
+                action(self, round_idx)
+        finally:
+            self._touch_buf = None
+        if touched:
+            self._settle_ids(np.unique(np.concatenate(touched)))
 
     def online(self, round_idx: int) -> np.ndarray:
-        """Boolean mask of *selectable* clients: idle at ``round_idx``."""
+        """Boolean mask of *selectable* clients: idle at ``round_idx``.
+
+        Materializes an N-wide mask — scalable callers should prefer
+        :meth:`idle_pool`."""
         self.advance(round_idx)
         return self.state == IDLE
 
@@ -160,10 +422,65 @@ class DeviceStatePopulation:
         """Ids of selectable clients at ``round_idx``."""
         return np.flatnonzero(self.online(round_idx))
 
+    def idle_pool(self, round_idx: int) -> IdlePool:
+        """Advance to ``round_idx`` and return the O(idle) sampling view.
+
+        Event mode maintains the index at transition time; sweep mode
+        rebuilds it lazily after each full-column advance."""
+        self.advance(round_idx)
+        if self._idle_dirty:
+            idle = np.flatnonzero(self.state == IDLE)
+            self._idle_len = len(idle)
+            self._idle_ids[: len(idle)] = idle
+            self._idle_pos.fill(-1)
+            self._idle_pos[idle] = np.arange(len(idle), dtype=np.int64)
+            self._idle_dirty = False
+        return IdlePool(self)
+
     def begin_work(self, client_ids: np.ndarray) -> None:
         """Mark contacted candidates as working — out of the idle pool."""
-        if len(client_ids):
-            self.state[np.asarray(client_ids, dtype=np.int64)] = WORKING
+        if not len(client_ids):
+            return
+        ids = _as_ids(client_ids)
+        if self.event_driven:
+            self._transition(np.unique(ids), WORKING)
+        else:
+            self.state[ids] = WORKING
+            self._idle_dirty = True
+        self._working_set.update(int(c) for c in ids)
+
+    def complete_work(self, client_ids: np.ndarray) -> None:
+        """Per-client round completion (continuous schedulers): working
+        devices return to idle without waiting for ``finish_round``."""
+        if not len(client_ids):
+            return
+        ids = np.unique(_as_ids(client_ids))
+        self._working_set.difference_update(int(c) for c in ids)
+        ids = ids[self.state[ids] == WORKING]
+        if self.event_driven:
+            self._transition(ids, IDLE)
+            if len(ids):
+                self._pending_settle.append(ids)
+        else:
+            self.state[ids] = IDLE
+            self._idle_dirty = True
+
+    def drop_work(self, client_ids: np.ndarray, round_idx: int) -> None:
+        """Per-client mid-round failure (continuous schedulers): enter
+        ``DROPPED`` until ``round_idx + dropped_cooldown`` has passed."""
+        if not len(client_ids):
+            return
+        ids = np.unique(_as_ids(client_ids))
+        self._working_set.difference_update(int(c) for c in ids)
+        self._drop_until[ids] = round_idx + self.dropped_cooldown
+        if self.event_driven:
+            self._transition(ids, DROPPED)
+            self.events.schedule(
+                round_idx + self.dropped_cooldown + 1, _ReviveEvent(ids)
+            )
+        else:
+            self.state[ids] = DROPPED
+            self._idle_dirty = True
 
     def finish_round(
         self, round_idx: int, dropped_ids: Optional[np.ndarray] = None
@@ -171,16 +488,42 @@ class DeviceStatePopulation:
         """Close the round: working devices return to idle, mid-round
         failures enter ``DROPPED`` until ``round_idx + dropped_cooldown``
         has passed."""
+        dropped = (
+            _as_ids(dropped_ids)
+            if dropped_ids is not None and len(dropped_ids)
+            else None
+        )
+        if self.event_driven:
+            working = np.fromiter(
+                self._working_set, dtype=np.int64, count=len(self._working_set)
+            )
+            working.sort()
+            self._working_set.clear()
+            returned = (
+                np.setdiff1d(working, dropped) if dropped is not None else working
+            )
+            self._transition(returned, IDLE)
+            if len(returned):
+                self._pending_settle.append(returned)
+            if dropped is not None:
+                uniq = np.unique(dropped)
+                self._transition(uniq, DROPPED)
+                self._drop_until[uniq] = round_idx + self.dropped_cooldown
+                self.events.schedule(
+                    round_idx + self.dropped_cooldown + 1, _ReviveEvent(uniq)
+                )
+            return
         self.state[self.state == WORKING] = IDLE
-        if dropped_ids is not None and len(dropped_ids):
-            ids = np.asarray(dropped_ids, dtype=np.int64)
-            self.state[ids] = DROPPED
-            self._drop_until[ids] = round_idx + self.dropped_cooldown
+        self._working_set.clear()
+        if dropped is not None:
+            self.state[dropped] = DROPPED
+            self._drop_until[dropped] = round_idx + self.dropped_cooldown
+        self._idle_dirty = True
 
     # -- AvailabilityTrace protocol ----------------------------------------------
     def survives_round(self, client_ids: np.ndarray) -> np.ndarray:
         """Mid-round survival draw from the per-client connectivity column."""
-        ids = np.asarray(client_ids, dtype=np.int64)
+        ids = _as_ids(client_ids)
         conn = self.connectivity[ids]
         if np.all(conn >= 1.0):
             return np.ones(len(ids), dtype=bool)
@@ -205,11 +548,11 @@ class DeviceStatePopulation:
     # -- column reads -------------------------------------------------------------
     def responsiveness_of(self, client_ids: np.ndarray) -> np.ndarray:
         """Compute-time multipliers for ``client_ids``."""
-        return self.responsiveness[np.asarray(client_ids, dtype=np.int64)]
+        return self.responsiveness[_as_ids(client_ids)]
 
     def completeness_of(self, client_ids: np.ndarray) -> np.ndarray:
         """Work-fraction column for ``client_ids``."""
-        return self.completeness[np.asarray(client_ids, dtype=np.int64)]
+        return self.completeness[_as_ids(client_ids)]
 
     def local_steps_for(
         self, client_ids: np.ndarray, local_steps: int
@@ -220,8 +563,16 @@ class DeviceStatePopulation:
         return np.maximum(1, steps).astype(np.int64)
 
     def state_counts(self) -> Dict[str, int]:
-        """``{"idle": …, "working": …, "offline": …, "dropped": …}``."""
-        counts = np.bincount(self.state, minlength=4)
+        """``{"idle": …, "working": …, "offline": …, "dropped": …}``.
+
+        Event mode reads the O(1) counters maintained at transition time;
+        the sweep recomputes the truth (direct ``state`` pokes are legal
+        there)."""
+        counts = (
+            self._counts
+            if self.event_driven
+            else np.bincount(self.state, minlength=4)
+        )
         return {
             "idle": int(counts[IDLE]),
             "working": int(counts[WORKING]),
@@ -232,5 +583,7 @@ class DeviceStatePopulation:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"DeviceStatePopulation(n={self.num_clients}, "
-            f"trace={type(self.trace).__name__}, {self.state_counts()})"
+            f"trace={type(self.trace).__name__}, "
+            f"mode={'event' if self.event_driven else 'sweep'}, "
+            f"{self.state_counts()})"
         )

@@ -1,13 +1,34 @@
-"""Device traces: the per-round column rewrites driving a population.
+"""Device traces: the per-round dynamics driving a population.
 
 A :class:`DeviceTrace` is the population's behavior model.  It is bound to
 a :class:`~repro.population.population.DeviceStatePopulation` once
-(``bind``), then ``apply(population, round_idx)`` runs exactly once per
-round (the population's ``advance`` guard) and rewrites whichever columns
-the trace owns — ``available`` for plain availability models,
-``connectivity``/``responsiveness`` for churn storms, every column for the
-device-class model.  Traces compose: :class:`ChurnStormTrace` wraps any
-base availability trace and layers burst-round effects on top.
+(``bind``); after that two advance disciplines exist:
+
+sweep (``apply``)
+    ``apply(population, round_idx)`` runs exactly once per queried round
+    (the population's ``advance`` guard) and rewrites whichever columns
+    the trace owns — ``available`` for plain availability models,
+    ``connectivity``/``responsiveness`` for churn storms, every column for
+    the device-class model.  O(N) per round, works for any trace.
+
+events (``schedule``)
+    ``schedule(population, queue)`` converts the same dynamics into
+    transition events on the population's
+    :class:`~repro.population.events.PopulationEventQueue` and returns
+    ``True``; the population then never calls ``apply`` and each round
+    costs O(transitions).  Deterministic dynamics (duty-cycle windows,
+    jitter-free diurnal edges) become periodic index flips; RNG-consuming
+    dynamics (device-class redraws, diurnal jitter, storm bursts) become
+    recurring actions that make *the same draws in the same order* as the
+    sweep and write only the changed indices, so both paths are
+    bit-identical.  A trace that returns ``False`` (the default, and any
+    subclass that overrides ``apply``) keeps the sweep.
+
+Traces compose: :class:`ChurnStormTrace` wraps any base availability trace
+and layers burst-round effects on top — in event mode the base's events
+touch ``available`` while the storm's recurring action touches
+``connectivity``/``responsiveness``, so the composition commutes exactly
+like the sweep's restore → base → burst ordering.
 
 The ``POPULATION_PRESETS`` registry names the scenarios
 ``RunConfig.population_preset`` accepts; :func:`build_population` turns a
@@ -20,6 +41,8 @@ preset name plus a config into a ready population (this is also how
 ...                         straggler_fraction=0.0,
 ...                         rng=np.random.default_rng(0))
 >>> pop = DeviceStatePopulation(4, np.random.default_rng(1), storm)
+>>> pop.event_driven                 # storms schedule as recurring events
+True
 >>> storm.is_burst(3) and not storm.is_burst(1)
 True
 >>> _ = pop.online(1)
@@ -62,33 +85,98 @@ class DeviceTrace:
         """One-time column initialization hook (called by the population)."""
 
     def apply(self, population, round_idx: int) -> None:
-        """Rewrite the population's columns for ``round_idx``."""
+        """Sweep mode: rewrite the population's columns for ``round_idx``."""
+
+    def schedule(self, population, queue) -> bool:
+        """Event mode: translate the trace's dynamics into transition
+        events on ``queue`` and return ``True``; returning ``False``
+        (the default) keeps the O(N) sweep via ``apply``."""
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__}>"
 
 
+class _PeriodicFlip:
+    """Self-rescheduling availability flip for a fixed id group: fire,
+    set the bit, re-arm ``period`` rounds after the *scheduled* round (so
+    chains stay phase-aligned across round jumps)."""
+
+    __slots__ = ("ids", "value", "period")
+
+    def __init__(self, ids: np.ndarray, value: bool, period: int) -> None:
+        self.ids = ids
+        self.value = bool(value)
+        self.period = int(period)
+
+    def __call__(self, population, fire_round: int) -> None:
+        population.set_available(self.ids, self.value)
+        population.events.schedule(fire_round + self.period, self)
+
+
+def _grouped(keys: np.ndarray):
+    """Yield ``(key, member_indices)`` per distinct key (sorted order)."""
+    order = np.argsort(keys, kind="stable")
+    sk = keys[order]
+    bounds = np.flatnonzero(np.r_[True, sk[1:] != sk[:-1]])
+    for i, b in enumerate(bounds):
+        e = bounds[i + 1] if i + 1 < len(bounds) else len(sk)
+        yield int(sk[b]), order[b:e]
+
+
+def _first_fire(residue: int, period: int) -> int:
+    """Smallest round ≥ 1 congruent to ``residue`` mod ``period``."""
+    return residue if residue >= 1 else period
+
+
 class StaticTrace(DeviceTrace):
     """No dynamics: the constructor baselines hold for the whole run."""
+
+    def schedule(self, population, queue) -> bool:
+        # trivially event-capable — unless a subclass re-introduced
+        # per-round dynamics through apply(), which only the sweep runs
+        return type(self).apply is DeviceTrace.apply
 
 
 class ExternalAvailabilityTrace(DeviceTrace):
     """Adapt a classic availability trace (duty-cycle, diurnal, or any
     user object with ``online(round_idx)``) into a device trace: the
     wrapped object drives the ``available`` column, everything else keeps
-    its baseline."""
+    its baseline.  An arbitrary external object gives us nothing to
+    schedule from, so this adapter is the one built-in trace that always
+    keeps the O(N) sweep (subclasses wrapping known trace types override
+    ``schedule``)."""
 
     def __init__(self, trace) -> None:
         self.trace = trace
 
     def apply(self, population, round_idx: int) -> None:
+        # repro: allow[population-column-sweep] -- legacy adapter: an external trace only exposes online(round_idx), so the full-column rewrite is the only faithful bridge
         population.available[:] = self.trace.online(round_idx)
+
+    def _diff_apply(self, population, fire_round: int) -> None:
+        """Recurring event action: same mask (and RNG draws) as the
+        sweep's ``apply``, written as index diffs."""
+        new = self.trace.online(fire_round)
+        diff = np.flatnonzero(population.available != new)
+        if len(diff):
+            population.available[diff] = new[diff]
+            population.note_available_changed(diff)
 
 
 class DutyCycleTrace(ExternalAvailabilityTrace):
     """Per-client duty-cycle availability — the population-column port of
     :class:`~repro.traces.availability.AvailabilityTrace` (mid-round
-    dropout lives in the population's connectivity column instead)."""
+    dropout lives in the population's connectivity column instead).
+
+    Event mode: the wrapped trace's window ``pos < on_fraction · period``
+    is an integer interval ``pos ∈ [0, L)`` with ``L = ⌈on_fraction ·
+    period⌉``, so each client flips on at rounds ≡ −phase (mod period)
+    and off at rounds ≡ L − phase.  Clients sharing ``(period, residue,
+    direction)`` form one periodic flip chain — at most ``2 · Σ period``
+    chains and O(Σ 1/period · N) touched ids per round, independent of
+    how many clients sit between transitions.
+    """
 
     def __init__(
         self,
@@ -109,10 +197,46 @@ class DutyCycleTrace(ExternalAvailabilityTrace):
             )
         )
 
+    def schedule(self, population, queue) -> bool:
+        if type(self).apply is not ExternalAvailabilityTrace.apply:
+            return False
+        t = self.trace
+        period = np.asarray(t._period, dtype=np.int64)
+        phase = np.asarray(t._phase, dtype=np.int64) % period
+        # seed round 0 with the sweep's own expression (bit-identical)
+        population.available[:] = t.online(0)
+        # integer on-window length: pos < frac·P  ⟺  pos < ceil(frac·P)
+        width = t._on_fraction * period
+        length = np.clip(np.ceil(width).astype(np.int64), 0, period)
+        flips = np.flatnonzero((length > 0) & (length < period))
+        if not len(flips):
+            return True
+        key_base = int(period.max()) + 1
+        for value, residue in (
+            (True, (-phase[flips]) % period[flips]),
+            (False, (length[flips] - phase[flips]) % period[flips]),
+        ):
+            keys = period[flips] * key_base + residue
+            for key, members in _grouped(keys):
+                p, res = divmod(key, key_base)
+                ids = np.sort(flips[members])
+                queue.schedule(
+                    _first_fire(res, p), _PeriodicFlip(ids, value, p)
+                )
+        return True
+
 
 class DiurnalTrace(ExternalAvailabilityTrace):
     """Day/night availability — the population-column port of
-    :class:`~repro.traces.diurnal.DiurnalAvailabilityTrace`."""
+    :class:`~repro.traces.diurnal.DiurnalAvailabilityTrace`.
+
+    Event mode: without jitter each client's window is a circular
+    interval of the ``rounds_per_day`` positions, so whole timezone
+    groups flip together — O(rounds_per_day) chains total, each firing
+    once per simulated day.  With jitter the per-round counter-seeded
+    flip draw is inherently O(N), so the trace registers a recurring
+    diff-apply that makes the identical draw and writes only changes.
+    """
 
     def __init__(
         self,
@@ -133,6 +257,30 @@ class DiurnalTrace(ExternalAvailabilityTrace):
             )
         )
 
+    def schedule(self, population, queue) -> bool:
+        if type(self).apply is not ExternalAvailabilityTrace.apply:
+            return False
+        t = self.trace
+        if t.jitter_prob > 0.0:
+            queue.add_recurring(self._diff_apply)
+            return True
+        rounds_per_day = int(t.rounds_per_day)
+        masks = [t.online(pos) for pos in range(rounds_per_day)]
+        population.available[:] = masks[0]
+        for pos in range(rounds_per_day):
+            prev = masks[pos - 1]  # pos 0 wraps to the last slot
+            cur = masks[pos]
+            for ids, value in (
+                (np.flatnonzero(cur & ~prev), True),
+                (np.flatnonzero(prev & ~cur), False),
+            ):
+                if len(ids):
+                    queue.schedule(
+                        _first_fire(pos, rounds_per_day),
+                        _PeriodicFlip(ids, value, rounds_per_day),
+                    )
+        return True
+
 
 class DeviceClassTrace(DeviceTrace):
     """Phone / tablet / silo device classes (~70 / 20 / 10 % of clients).
@@ -143,6 +291,11 @@ class DeviceClassTrace(DeviceTrace):
     floored at ``min_completeness`` and responsiveness capped at
     ``max_responsiveness`` (the ``population_min_completeness`` /
     ``population_max_responsiveness`` config knobs).
+
+    The per-round Bernoulli redraw is inherently O(N) (the model *is* an
+    independent draw per client per round), so event mode registers a
+    recurring action making the identical shared-stream draw and writing
+    only the flipped indices.
     """
 
     #: per-class (share, online_prob, connectivity, completeness,
@@ -182,9 +335,23 @@ class DeviceClassTrace(DeviceTrace):
         )
 
     def apply(self, population, round_idx: int) -> None:
+        # repro: allow[population-column-sweep] -- sweep reference path: schedule() is the primary, diff-writing implementation
         population.available[:] = (
             self._rng.random(population.num_clients) < self._online_p
         )
+
+    def schedule(self, population, queue) -> bool:
+        if type(self).apply is not DeviceClassTrace.apply:
+            return False
+        queue.add_recurring(self._redraw)
+        return True
+
+    def _redraw(self, population, fire_round: int) -> None:
+        new = self._rng.random(population.num_clients) < self._online_p
+        diff = np.flatnonzero(population.available != new)
+        if len(diff):
+            population.available[diff] = new[diff]
+            population.note_available_changed(diff)
 
 
 class ChurnStormTrace(DeviceTrace):
@@ -198,6 +365,13 @@ class ChurnStormTrace(DeviceTrace):
     This is the column-level reimplementation of the old context-knob
     failure injection, so ``scheduler="failure"`` is now just a population
     preset.
+
+    Event mode composes: the base trace's events keep driving
+    ``available`` while a recurring storm action handles bursts.  Calm →
+    calm rounds cost nothing — the restore (an exact copy from the
+    population's baseline snapshots, never a multiplicative undo) runs
+    only on the round after a burst, and the straggler draw stays on the
+    shared RNG stream in sweep order.
     """
 
     def __init__(
@@ -218,6 +392,8 @@ class ChurnStormTrace(DeviceTrace):
         self.straggler_fraction = straggler_fraction
         self.straggler_slowdown = straggler_slowdown
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._bursted = False
+        self._hit_ids: Optional[np.ndarray] = None
 
     def bind(self, population) -> None:
         if self.base is not None:
@@ -228,6 +404,7 @@ class ChurnStormTrace(DeviceTrace):
         return bool(self.burst_every) and round_idx % self.burst_every == 0
 
     def apply(self, population, round_idx: int) -> None:
+        # repro: allow[population-column-sweep] -- sweep reference path: schedule() is the primary, restore-on-demand implementation
         population.connectivity[:] = population.base_connectivity
         population.responsiveness[:] = population.base_responsiveness
         if self.base is not None:
@@ -245,6 +422,42 @@ class ChurnStormTrace(DeviceTrace):
         else:
             return
         population.responsiveness[hit] *= self.straggler_slowdown
+
+    def schedule(self, population, queue) -> bool:
+        if type(self).apply is not ChurnStormTrace.apply:
+            return False
+        if self.base is not None and not self.base.schedule(population, queue):
+            return False
+        self._bursted = False
+        self._hit_ids = None
+        queue.add_recurring(self._storm_step)
+        return True
+
+    def _storm_step(self, population, fire_round: int) -> None:
+        if self._hit_ids is not None:
+            population.responsiveness[self._hit_ids] = (
+                population.base_responsiveness[self._hit_ids]
+            )
+            self._hit_ids = None
+        if self._bursted:
+            population.connectivity[:] = population.base_connectivity
+            self._bursted = False
+        if not self.is_burst(fire_round):
+            return
+        population.connectivity *= 1.0 - self.burst_dropout
+        self._bursted = True
+        if self.straggler_fraction >= 1.0:
+            hit = np.ones(population.num_clients, dtype=bool)
+        elif self.straggler_fraction > 0.0:
+            hit = (
+                self._rng.random(population.num_clients)
+                < self.straggler_fraction
+            )
+        else:
+            return
+        hit_ids = np.flatnonzero(hit)
+        population.responsiveness[hit_ids] *= self.straggler_slowdown
+        self._hit_ids = hit_ids
 
 
 def build_population(
@@ -269,6 +482,11 @@ def build_population(
     * ``"storm"`` — periodic churn storms over the base availability,
       parameterized by the ``failure_*`` knobs (:class:`ChurnStormTrace`)
       — what ``scheduler="failure"`` runs on.
+
+    ``config.population_event_driven`` picks the advance discipline
+    (``None`` = event mode whenever the trace supports it) and
+    ``config.population_scalable_sampling`` marks the population for
+    O(idle) pool-based sampler draws.
     """
     from repro.population.population import DeviceStatePopulation
 
@@ -314,4 +532,8 @@ def build_population(
         trace,
         dropout_prob=dropout,
         dropped_cooldown=config.population_dropped_cooldown,
+        event_driven=getattr(config, "population_event_driven", None),
+        scalable_sampling=getattr(
+            config, "population_scalable_sampling", False
+        ),
     )

@@ -284,6 +284,9 @@ class PrivateStrategy(CompressionStrategy):
         # nothing was uploaded, so no privacy was spent — no step
         self.inner.abort_round(round_idx)
 
+    def limit_residuals(self, max_clients) -> None:
+        self.inner.limit_residuals(max_clients)
+
     # -- pure delegation ----------------------------------------------------
     @property
     def data_dependent_selection(self) -> bool:

@@ -44,6 +44,8 @@ DOCUMENTED_MODULES = (
     "repro.utils.rng",
     "repro.population.population",
     "repro.population.traces",
+    "repro.population.events",
+    "repro.utils.client_state",
     "repro.datasets.lazy",
     "repro.analysis",
     "repro.runtime.arena",
